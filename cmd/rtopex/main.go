@@ -1,0 +1,77 @@
+// Command rtopex regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	rtopex -list
+//	rtopex -exp fig15 [-subframes 30000] [-samples 1000000] [-seed 7] [-quick]
+//	rtopex -all [-quick]
+//
+// Each experiment prints an aligned text table with notes tying the output
+// back to the paper's claims. Runs are deterministic for a given seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rtopex"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "", "experiment id to run (see -list)")
+		all       = flag.Bool("all", false, "run every registered experiment")
+		list      = flag.Bool("list", false, "list experiment ids")
+		subframes = flag.Int("subframes", 0, "subframes per basestation (default 30000)")
+		samples   = flag.Int("samples", 0, "samples for distribution experiments (default 1e6)")
+		seed      = flag.Uint64("seed", 0, "random seed (default fixed)")
+		quick     = flag.Bool("quick", false, "shrink scales ~10x for a fast run")
+		format    = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range rtopex.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := rtopex.ExperimentOptions{
+		Subframes: *subframes,
+		Samples:   *samples,
+		Seed:      *seed,
+		Quick:     *quick,
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = rtopex.Experiments()
+	case *exp != "":
+		ids = []string{*exp}
+	default:
+		fmt.Fprintln(os.Stderr, "rtopex: specify -exp <id>, -all, or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		tb, err := rtopex.RunExperiment(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtopex: %v\n", err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "csv":
+			fmt.Print(tb.CSV())
+			fmt.Println()
+		default:
+			fmt.Print(tb.String())
+			fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Command tracegen generates cellular load traces in the rtopex CSV format
+// and prints summary statistics, replacing the paper's USRP off-air
+// captures (see DESIGN.md for the substitution rationale).
+//
+// Usage:
+//
+//	tracegen -n 30000 -seed 1 -out traces.csv
+//	tracegen -n 30000 -stats            # print distribution summary only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtopex/internal/stats"
+	"rtopex/internal/trace"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 30000, "subframes per basestation (1 ms each)")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		out   = flag.String("out", "", "output CSV path (stdout when empty)")
+		stat  = flag.Bool("stats", false, "print summary statistics instead of the trace")
+		burst = flag.Float64("burst-scale", 1, "multiply burst probabilities (load intensity knob)")
+	)
+	flag.Parse()
+
+	profiles := make([]trace.Profile, len(trace.DefaultProfiles))
+	copy(profiles, trace.DefaultProfiles)
+	for i := range profiles {
+		profiles[i].BurstProb *= *burst
+	}
+
+	names := make([]string, len(profiles))
+	traces := make([]trace.Trace, len(profiles))
+	for i, p := range profiles {
+		names[i] = p.Name
+		traces[i] = trace.NewGenerator(p, *seed+uint64(i)).Generate(*n)
+	}
+
+	if *stat {
+		for i, tr := range traces {
+			s := stats.Summarize([]float64(tr))
+			fmt.Printf("%s: mean=%.3f p50=%.3f p90=%.3f stepVar=%.3f mcsMean=%.1f\n",
+				names[i], s.Mean, s.P50, s.P90, tr.StepVariation(), meanMCS(tr))
+		}
+		return
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.Write(w, names, traces); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func meanMCS(tr trace.Trace) float64 {
+	sum := 0
+	for _, m := range tr.MCSSeries() {
+		sum += m
+	}
+	return float64(sum) / float64(len(tr))
+}

@@ -1,0 +1,74 @@
+// harq demonstrates the LTE hybrid-ARQ loop behind the paper's 3 ms
+// ACK/NACK deadline: a transport block that fails its first decode is
+// NACKed and retransmitted at the next redundancy version; the receiver
+// combines soft bits across transmissions until the CRC passes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rtopex"
+	"rtopex/internal/bits"
+	"rtopex/internal/stats"
+)
+
+func main() {
+	cfg := rtopex.PHYConfig{
+		Bandwidth: rtopex.BW10MHz,
+		MCS:       17, // 16-QAM, code rate ≈ 0.64
+		Antennas:  2,
+		RNTI:      0x0042,
+		CellID:    9,
+	}
+	// An SNR below the single-shot threshold for this MCS: the first
+	// transmission should NACK, and incremental redundancy should close
+	// the link within the 4-version cycle.
+	const snrDB = 4.5
+
+	tx, err := rtopex.NewTransmitter(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := stats.NewRNG(7)
+	payload := make([]byte, tx.TBS())
+	bits.RandomBits(payload, r.Uint64)
+
+	hrx, err := rtopex.NewHARQReceiver(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ch, err := rtopex.NewChannel(snrDB, cfg.Antennas, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("transport block: %d bits, MCS %d at %.1f dB\n\n", tx.TBS(), cfg.MCS, snrDB)
+	for n := 0; n < len(rtopex.HARQRVSequence); n++ {
+		rv := rtopex.HARQRVSequence[n]
+		wave, err := tx.TransmitRV(payload, rv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		iq, _ := ch.Apply(wave)
+		res, err := hrx.Receive(iq, ch.N0(), rv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "NACK"
+		if res.OK {
+			verdict = "ACK"
+		}
+		fmt.Printf("tx %d (rv=%d): %s  turboIterations=%d\n", n+1, rv, verdict, res.Iterations)
+		if res.OK {
+			if bits.HammingDistance(res.Payload, payload) != 0 {
+				log.Fatal("CRC passed on a corrupted payload — impossible")
+			}
+			fmt.Printf("\ndecoded after %d transmission(s): each retransmission added fresh\n", hrx.Transmissions)
+			fmt.Println("parity from a different circular-buffer offset (incremental redundancy),")
+			fmt.Println("lowering the effective code rate until the decoder converged.")
+			return
+		}
+	}
+	fmt.Println("\nlink did not close within one rv cycle — lower the MCS or raise the SNR")
+}

@@ -1,0 +1,118 @@
+// tracereplay generates a cellular load trace file, reads it back, and
+// replays it through the C-RAN simulation with a jittery (non-fixed)
+// transport path — the workflow an operator would use to provision a
+// compute node against captured traffic.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"rtopex"
+	"rtopex/internal/sched"
+	"rtopex/internal/trace"
+	"rtopex/internal/transport"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "rtopex-trace")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "traces.csv")
+
+	// 1. Capture: generate 20 s of load for four cells and persist it.
+	const subframes = 20000
+	names := make([]string, len(trace.DefaultProfiles))
+	traces := make([]trace.Trace, len(trace.DefaultProfiles))
+	for i, p := range trace.DefaultProfiles {
+		names[i] = p.Name
+		traces[i] = trace.NewGenerator(p, uint64(100+i)).Generate(subframes)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := trace.Write(f, names, traces); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("wrote %s (%d subframes × %d cells)\n", path, subframes, len(names))
+
+	// 2. Reload: parse the file as an operator would a real capture.
+	f, err = os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gotNames, gotTraces, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reloaded cells: %v\n\n", gotNames)
+
+	// 3. Replay under a realistic transport: 20 km fronthaul plus a
+	// 10 GbE cloud segment with a long latency tail (Fig. 6), instead of
+	// the fixed delays of the main evaluation.
+	path2 := transport.Path{
+		Fronthaul: transport.Fronthaul{DistanceKm: 20, SwitchUS: 10},
+		Cloud:     transport.NewCloud(10),
+	}
+	expected := path2.Fronthaul.OneWayUS() + path2.Cloud.Mean()
+	fmt.Printf("transport: expected RTT/2 = %.0f µs with a lognormal tail\n\n", expected)
+
+	w, err := rtopex.BuildWorkload(rtopex.WorkloadConfig{
+		Basestations:   len(gotNames),
+		Subframes:      subframes,
+		Antennas:       2,
+		Bandwidth:      rtopex.BW10MHz,
+		SNRdB:          30,
+		Lm:             4,
+		Params:         rtopex.PaperGPP,
+		Jitter:         rtopex.DefaultJitter,
+		IterLaw:        rtopex.DefaultIterationLaw,
+		Profiles:       profilesFromTraces(gotNames),
+		FixedMCS:       -1,
+		Transport:      path2,
+		ExpectedRTT2US: expected,
+		Seed:           9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Replace the generated loads with the file's loads so the replay is
+	// exactly the captured traffic.
+	if err := overrideLoads(w, gotTraces); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, s := range []rtopex.Scheduler{rtopex.NewPartitioned(2), rtopex.NewRTOPEX(2)} {
+		m, err := rtopex.Simulate(w, s, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s overall miss rate %.2e\n", m.Scheduler, m.MissRate())
+		for i, b := range m.PerBS {
+			fmt.Printf("   %-4s jobs=%d ack=%d dropped=%d late=%d (miss %.2e)\n",
+				gotNames[i], b.Jobs, b.ACK, b.Dropped, b.Late, b.MissRate())
+		}
+	}
+}
+
+// profilesFromTraces supplies placeholder profiles (the loads are replaced
+// by the captured trace below, but BuildWorkload validates profile count).
+func profilesFromTraces(names []string) []rtopex.TraceProfile {
+	ps := make([]rtopex.TraceProfile, len(names))
+	for i := range ps {
+		ps[i] = trace.DefaultProfiles[i%len(trace.DefaultProfiles)]
+	}
+	return ps
+}
+
+// overrideLoads rebuilds each job's MCS-derived fields from a trace.
+func overrideLoads(w *rtopex.Workload, traces []trace.Trace) error {
+	return sched.OverrideLoads(w, traces)
+}

@@ -1,0 +1,3 @@
+module rtopex
+
+go 1.22

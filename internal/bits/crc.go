@@ -1,0 +1,88 @@
+// Package bits implements the bit-level utilities of the LTE L1 chain:
+// transport-block CRC attachment (CRC24A), code-block CRC (CRC24B), the
+// 16-bit CRC used on control channels, and bit/byte packing helpers.
+//
+// All CRC generators follow 3GPP TS 36.212 §5.1.1: cyclic generator
+// polynomials applied to the bit sequence MSB-first with zero initial state
+// and no final XOR. Payloads and parity are represented as one bit per byte
+// (values 0/1), which is how the rest of the chain (turbo coder, scrambler,
+// modulator) consumes them.
+package bits
+
+// Generator polynomials from TS 36.212 §5.1.1, written without the leading
+// x^L term (the engine shifts it out implicitly).
+const (
+	// polyCRC24A = x^24 + x^23 + x^18 + x^17 + x^14 + x^11 + x^10 + x^7 +
+	// x^6 + x^5 + x^4 + x^3 + x + 1
+	polyCRC24A = 0x864CFB
+	// polyCRC24B = x^24 + x^23 + x^6 + x^5 + x + 1
+	polyCRC24B = 0x800063
+	// polyCRC16 = x^16 + x^12 + x^5 + 1
+	polyCRC16 = 0x1021
+)
+
+// crcBits runs the generic MSB-first CRC over a 0/1-valued bit slice and
+// returns the width-bit remainder.
+func crcBits(data []byte, poly uint32, width uint) uint32 {
+	var reg uint32
+	top := uint32(1) << (width - 1)
+	mask := top | (top - 1)
+	for _, b := range data {
+		reg ^= uint32(b&1) << (width - 1)
+		if reg&top != 0 {
+			reg = (reg << 1) ^ poly
+		} else {
+			reg <<= 1
+		}
+		reg &= mask
+	}
+	return reg
+}
+
+// CRC24A computes the 24-bit transport-block CRC of a 0/1 bit slice.
+func CRC24A(data []byte) uint32 { return crcBits(data, polyCRC24A, 24) }
+
+// CRC24B computes the 24-bit code-block CRC of a 0/1 bit slice.
+func CRC24B(data []byte) uint32 { return crcBits(data, polyCRC24B, 24) }
+
+// CRC16 computes the 16-bit CRC of a 0/1 bit slice.
+func CRC16(data []byte) uint32 { return crcBits(data, polyCRC16, 16) }
+
+// AppendCRC appends the width-bit value MSB-first to data as 0/1 bits and
+// returns the extended slice.
+func AppendCRC(data []byte, crc uint32, width uint) []byte {
+	for i := int(width) - 1; i >= 0; i-- {
+		data = append(data, byte((crc>>uint(i))&1))
+	}
+	return data
+}
+
+// CheckCRC24A verifies a bit sequence whose final 24 bits are a CRC24A over
+// the preceding bits. It reports false for sequences shorter than 25 bits.
+func CheckCRC24A(withCRC []byte) bool {
+	if len(withCRC) <= 24 {
+		return false
+	}
+	n := len(withCRC) - 24
+	want := CRC24A(withCRC[:n])
+	return extractCRC(withCRC[n:], 24) == want
+}
+
+// CheckCRC24B verifies a bit sequence whose final 24 bits are a CRC24B over
+// the preceding bits.
+func CheckCRC24B(withCRC []byte) bool {
+	if len(withCRC) <= 24 {
+		return false
+	}
+	n := len(withCRC) - 24
+	want := CRC24B(withCRC[:n])
+	return extractCRC(withCRC[n:], 24) == want
+}
+
+func extractCRC(tail []byte, width uint) uint32 {
+	var v uint32
+	for i := uint(0); i < width; i++ {
+		v = v<<1 | uint32(tail[i]&1)
+	}
+	return v
+}

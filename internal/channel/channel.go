@@ -1,0 +1,80 @@
+// Package channel provides the wireless channel models used to exercise the
+// uplink chain: complex AWGN at a configurable SNR and a flat (frequency
+// non-selective) per-antenna gain, which is the model the paper's evaluation
+// uses ("an AWGN channel model with a fixed SNR of 30 dB", §4.2).
+package channel
+
+import (
+	"fmt"
+	"math"
+
+	"rtopex/internal/stats"
+)
+
+// Model generates per-antenna received signals from one transmitted signal.
+type Model struct {
+	// SNRdB is the per-antenna average signal-to-noise ratio.
+	SNRdB float64
+	// Antennas is the number of receive antennas (the paper's N).
+	Antennas int
+	// Rayleigh, when true, draws each antenna gain from a complex normal
+	// distribution (|h| Rayleigh); otherwise gains have unit magnitude and
+	// a uniform random phase.
+	Rayleigh bool
+
+	rng *stats.RNG
+}
+
+// New creates a channel model with a deterministic seed.
+func New(snrDB float64, antennas int, seed uint64) (*Model, error) {
+	if antennas < 1 {
+		return nil, fmt.Errorf("channel: need at least one antenna, got %d", antennas)
+	}
+	return &Model{SNRdB: snrDB, Antennas: antennas, rng: stats.NewRNG(seed)}, nil
+}
+
+// N0 returns the complex noise power corresponding to SNRdB for unit-power
+// transmit signals.
+func (m *Model) N0() float64 { return math.Pow(10, -m.SNRdB/10) }
+
+// Gains draws one flat gain per antenna for a subframe.
+func (m *Model) Gains() []complex128 {
+	h := make([]complex128, m.Antennas)
+	for a := range h {
+		if m.Rayleigh {
+			h[a] = complex(m.rng.NormFloat64()/math.Sqrt2, m.rng.NormFloat64()/math.Sqrt2)
+		} else {
+			ang := 2 * math.Pi * m.rng.Float64()
+			h[a] = complex(math.Cos(ang), math.Sin(ang))
+		}
+	}
+	return h
+}
+
+// Apply produces the per-antenna received samples for the transmitted
+// baseband signal tx: rx[a][n] = h[a]·tx[n] + w[a][n], with w complex
+// Gaussian of power N0.
+func (m *Model) Apply(tx []complex128) (rx [][]complex128, gains []complex128) {
+	gains = m.Gains()
+	return m.ApplyWithGains(tx, gains), gains
+}
+
+// ApplyWithGains is Apply with caller-provided gains (len must equal
+// Antennas), for reproducing a specific channel realization.
+func (m *Model) ApplyWithGains(tx []complex128, gains []complex128) [][]complex128 {
+	if len(gains) != m.Antennas {
+		panic(fmt.Sprintf("channel: %d gains for %d antennas", len(gains), m.Antennas))
+	}
+	sigma := math.Sqrt(m.N0() / 2)
+	rx := make([][]complex128, m.Antennas)
+	for a := 0; a < m.Antennas; a++ {
+		out := make([]complex128, len(tx))
+		h := gains[a]
+		for n, x := range tx {
+			noise := complex(sigma*m.rng.NormFloat64(), sigma*m.rng.NormFloat64())
+			out[n] = h*x + noise
+		}
+		rx[a] = out
+	}
+	return rx
+}

@@ -1,0 +1,103 @@
+package channel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestN0(t *testing.T) {
+	m, _ := New(10, 1, 1)
+	if math.Abs(m.N0()-0.1) > 1e-12 {
+		t.Fatalf("N0(10 dB) = %v, want 0.1", m.N0())
+	}
+	m, _ = New(0, 1, 1)
+	if math.Abs(m.N0()-1) > 1e-12 {
+		t.Fatalf("N0(0 dB) = %v, want 1", m.N0())
+	}
+}
+
+func TestGainsUnitMagnitude(t *testing.T) {
+	m, _ := New(20, 4, 2)
+	h := m.Gains()
+	if len(h) != 4 {
+		t.Fatalf("%d gains", len(h))
+	}
+	for _, g := range h {
+		mag := math.Hypot(real(g), imag(g))
+		if math.Abs(mag-1) > 1e-12 {
+			t.Fatalf("non-unit gain magnitude %v", mag)
+		}
+	}
+}
+
+func TestRayleighGainStatistics(t *testing.T) {
+	m, _ := New(20, 1, 3)
+	m.Rayleigh = true
+	var power float64
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		g := m.Gains()[0]
+		power += real(g)*real(g) + imag(g)*imag(g)
+	}
+	power /= draws
+	if math.Abs(power-1) > 0.05 {
+		t.Fatalf("Rayleigh mean power %v, want ~1", power)
+	}
+}
+
+func TestApplyNoisePower(t *testing.T) {
+	m, _ := New(10, 2, 4)
+	tx := make([]complex128, 20000) // silence: output is pure noise
+	rx, gains := m.Apply(tx)
+	if len(rx) != 2 || len(gains) != 2 {
+		t.Fatal("wrong output shape")
+	}
+	for a := range rx {
+		var p float64
+		for _, y := range rx[a] {
+			p += real(y)*real(y) + imag(y)*imag(y)
+		}
+		p /= float64(len(rx[a]))
+		if math.Abs(p-m.N0()) > 0.01*m.N0()+0.005 {
+			t.Fatalf("antenna %d noise power %v, want %v", a, p, m.N0())
+		}
+	}
+}
+
+func TestApplySignalScaling(t *testing.T) {
+	m, _ := New(60, 1, 5) // essentially noiseless
+	tx := []complex128{1, 1i, -1, -1i}
+	rx := m.ApplyWithGains(tx, []complex128{2})
+	for i, y := range rx[0] {
+		want := 2 * tx[i]
+		if math.Hypot(real(y-want), imag(y-want)) > 0.01 {
+			t.Fatalf("sample %d = %v, want ~%v", i, y, want)
+		}
+	}
+}
+
+func TestApplyWithGainsPanicsOnMismatch(t *testing.T) {
+	m, _ := New(10, 2, 6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on gain count mismatch")
+		}
+	}()
+	m.ApplyWithGains(make([]complex128, 4), []complex128{1})
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := New(10, 2, 7)
+	b, _ := New(10, 2, 7)
+	tx := make([]complex128, 100)
+	tx[0] = 1
+	ra, _ := a.Apply(tx)
+	rb, _ := b.Apply(tx)
+	for ant := range ra {
+		for i := range ra[ant] {
+			if ra[ant][i] != rb[ant][i] {
+				t.Fatal("same seed produced different channels")
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package channel
+
+import (
+	"fmt"
+	"math"
+
+	"rtopex/internal/stats"
+)
+
+// Tap is one path of a tapped-delay-line channel.
+type Tap struct {
+	DelaySamples int
+	// PowerDB is the average tap power relative to the strongest tap.
+	PowerDB float64
+}
+
+// Standard 3GPP delay profiles, quantized to the 15.36 Msps (10 MHz)
+// sample grid. EPA is gentle (≤26 samples ≈ 410 ns); ETU is hard
+// (up to 77 samples ≈ 5 µs), exceeding the cyclic prefix of higher-order
+// numerologies and stressing the equalizer.
+var (
+	// EPA is the Extended Pedestrian A profile.
+	EPA = []Tap{{0, 0}, {1, -1}, {2, -2}, {3, -3}, {6, -8}, {10, -17.2}, {26, -20.8}}
+	// EVA is the Extended Vehicular A profile.
+	EVA = []Tap{{0, 0}, {1, -1.5}, {4, -1.4}, {5, -3.6}, {7, -0.6}, {11, -9.1}, {17, -7}, {34, -12}, {39, -16.9}}
+)
+
+// Multipath is a frequency-selective block-fading channel: per antenna, an
+// independent tapped delay line whose tap gains are complex Gaussian,
+// constant over a subframe. AWGN is added at the configured SNR.
+type Multipath struct {
+	SNRdB    float64
+	Antennas int
+	Taps     []Tap
+
+	rng *stats.RNG
+}
+
+// NewMultipath creates a frequency-selective channel model.
+func NewMultipath(snrDB float64, antennas int, taps []Tap, seed uint64) (*Multipath, error) {
+	if antennas < 1 {
+		return nil, fmt.Errorf("channel: need at least one antenna, got %d", antennas)
+	}
+	if len(taps) == 0 {
+		return nil, fmt.Errorf("channel: need at least one tap")
+	}
+	for _, tp := range taps {
+		if tp.DelaySamples < 0 {
+			return nil, fmt.Errorf("channel: negative tap delay")
+		}
+	}
+	return &Multipath{SNRdB: snrDB, Antennas: antennas, Taps: taps, rng: stats.NewRNG(seed)}, nil
+}
+
+// N0 returns the complex noise power for unit-power transmit signals.
+func (m *Multipath) N0() float64 { return math.Pow(10, -m.SNRdB/10) }
+
+// impulse draws one normalized channel impulse response: tap powers follow
+// the profile and the total power is one, so the average receive SNR is
+// preserved.
+func (m *Multipath) impulse() []complex128 {
+	maxDelay := 0
+	var totalLin float64
+	for _, tp := range m.Taps {
+		if tp.DelaySamples > maxDelay {
+			maxDelay = tp.DelaySamples
+		}
+		totalLin += math.Pow(10, tp.PowerDB/10)
+	}
+	h := make([]complex128, maxDelay+1)
+	for _, tp := range m.Taps {
+		p := math.Pow(10, tp.PowerDB/10) / totalLin
+		sigma := math.Sqrt(p / 2)
+		h[tp.DelaySamples] += complex(sigma*m.rng.NormFloat64(), sigma*m.rng.NormFloat64())
+	}
+	return h
+}
+
+// Apply convolves tx with an independent impulse response per antenna
+// (linear convolution — each OFDM symbol's cyclic prefix turns it into the
+// per-symbol circular convolution the equalizer assumes, as long as the
+// delay spread stays under the CP, which holds for EPA/EVA at 10 MHz) and
+// adds AWGN.
+func (m *Multipath) Apply(tx []complex128) (rx [][]complex128, impulses [][]complex128) {
+	sigma := math.Sqrt(m.N0() / 2)
+	rx = make([][]complex128, m.Antennas)
+	impulses = make([][]complex128, m.Antennas)
+	n := len(tx)
+	for a := 0; a < m.Antennas; a++ {
+		h := m.impulse()
+		impulses[a] = h
+		out := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			var acc complex128
+			for d, g := range h {
+				if g == 0 || i-d < 0 {
+					continue
+				}
+				acc += g * tx[i-d]
+			}
+			out[i] = acc + complex(sigma*m.rng.NormFloat64(), sigma*m.rng.NormFloat64())
+		}
+		rx[a] = out
+	}
+	return rx, impulses
+}

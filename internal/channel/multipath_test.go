@@ -1,0 +1,100 @@
+package channel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMultipathValidation(t *testing.T) {
+	if _, err := NewMultipath(10, 0, EPA, 1); err == nil {
+		t.Error("0 antennas accepted")
+	}
+	if _, err := NewMultipath(10, 1, nil, 1); err == nil {
+		t.Error("no taps accepted")
+	}
+	if _, err := NewMultipath(10, 1, []Tap{{-1, 0}}, 1); err == nil {
+		t.Error("negative delay accepted")
+	}
+}
+
+func TestMultipathUnitAveragePower(t *testing.T) {
+	// The normalized impulse responses must average unit power so the
+	// configured SNR is honored.
+	m, err := NewMultipath(20, 1, EVA, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var power float64
+	const draws = 5000
+	for i := 0; i < draws; i++ {
+		for _, g := range m.impulse() {
+			power += real(g)*real(g) + imag(g)*imag(g)
+		}
+	}
+	power /= draws
+	if math.Abs(power-1) > 0.05 {
+		t.Fatalf("mean impulse power %v, want ~1", power)
+	}
+}
+
+func TestMultipathDelaySpread(t *testing.T) {
+	m, _ := NewMultipath(20, 1, EPA, 3)
+	h := m.impulse()
+	if len(h) != 27 { // EPA's longest tap is 26 samples
+		t.Fatalf("impulse length %d", len(h))
+	}
+	if h[0] == 0 {
+		t.Fatal("first tap empty")
+	}
+}
+
+func TestMultipathOutputShape(t *testing.T) {
+	m, _ := NewMultipath(20, 3, EPA, 4)
+	tx := make([]complex128, 500)
+	tx[0] = 1
+	rx, hs := m.Apply(tx)
+	if len(rx) != 3 || len(hs) != 3 {
+		t.Fatal("wrong antenna count")
+	}
+	for a := range rx {
+		if len(rx[a]) != 500 {
+			t.Fatal("wrong sample count")
+		}
+	}
+}
+
+func TestMultipathIsFrequencySelective(t *testing.T) {
+	// A pure impulse through the channel spreads across the delay line:
+	// energy must appear at more than one delay for a multi-tap profile.
+	m, _ := NewMultipath(60, 1, EVA, 5) // essentially noiseless
+	tx := make([]complex128, 100)
+	tx[0] = 1
+	rx, hs := m.Apply(tx)
+	nonzero := 0
+	for d := 0; d < len(hs[0]); d++ {
+		if mag2(rx[0][d]) > 1e-6 {
+			nonzero++
+		}
+	}
+	if nonzero < 3 {
+		t.Fatalf("only %d significant echoes — channel not dispersive", nonzero)
+	}
+}
+
+func mag2(x complex128) float64 { return real(x)*real(x) + imag(x)*imag(x) }
+
+func TestMultipathDeterminism(t *testing.T) {
+	a, _ := NewMultipath(20, 2, EPA, 7)
+	b, _ := NewMultipath(20, 2, EPA, 7)
+	tx := make([]complex128, 64)
+	tx[5] = 1
+	ra, _ := a.Apply(tx)
+	rb, _ := b.Apply(tx)
+	for ant := range ra {
+		for i := range ra[ant] {
+			if ra[ant][i] != rb[ant][i] {
+				t.Fatal("same seed diverged")
+			}
+		}
+	}
+}

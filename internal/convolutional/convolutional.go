@@ -1,0 +1,200 @@
+// Package convolutional implements the LTE control-channel code of
+// TS 36.212 §5.1.3.1: the rate-1/3, constraint-length-7 tail-biting
+// convolutional code (generators 133, 171, 165 octal) with a wrap-around
+// Viterbi decoder, plus the DCI-style CRC16 attachment masked by the
+// addressee's RNTI. The data channels use the turbo code (package turbo);
+// this code carries the grants and control information that tell a
+// basestation what to decode in the first place.
+package convolutional
+
+import (
+	"fmt"
+	"math"
+
+	"rtopex/internal/bits"
+)
+
+// Generator polynomials, constraint length 7 (64 states).
+const (
+	g0 = 0o133
+	g1 = 0o171
+	g2 = 0o165
+
+	numStates      = 64
+	memory         = 6
+	outputsPerStep = 3
+)
+
+// outputBits computes the three coded bits for state s (the six previous
+// input bits, most recent in the LSB) and input u.
+func outputBits(s int, u byte) (byte, byte, byte) {
+	reg := (s << 1) | int(u&1) // 7-bit window, newest bit in LSB
+	return parity7(reg & g0), parity7(reg & g1), parity7(reg & g2)
+}
+
+func parity7(x int) byte {
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return byte(x & 1)
+}
+
+// nextState advances the shift register.
+func nextState(s int, u byte) int {
+	return ((s << 1) | int(u&1)) & (numStates - 1)
+}
+
+// Encode tail-biting encodes a 0/1 bit message: the shift register is
+// initialized with the message's last six bits, so the trellis starts and
+// ends in the same state and no tail bits are transmitted. The output is
+// the three streams concatenated d0 | d1 | d2, each len(msg) long.
+func Encode(msg []byte) ([]byte, error) {
+	if len(msg) < memory {
+		return nil, fmt.Errorf("convolutional: message of %d bits shorter than memory %d", len(msg), memory)
+	}
+	n := len(msg)
+	// Initial state: the last 6 input bits, newest in the LSB.
+	s := 0
+	for i := n - memory; i < n; i++ {
+		s = nextState(s, msg[i])
+	}
+	d0 := make([]byte, n)
+	d1 := make([]byte, n)
+	d2 := make([]byte, n)
+	for i, u := range msg {
+		d0[i], d1[i], d2[i] = outputBits(s, u)
+		s = nextState(s, u)
+	}
+	out := make([]byte, 0, 3*n)
+	out = append(out, d0...)
+	out = append(out, d1...)
+	out = append(out, d2...)
+	return out, nil
+}
+
+// Decode runs a wrap-around Viterbi decoder over soft bits (positive LLR ⇒
+// bit 0), laid out as Encode produces them (three concatenated streams).
+// Tail-biting is handled by decoding the sequence twice in a circle and
+// taking the middle pass, which converges to the circular maximum-
+// likelihood path for practical lengths.
+func Decode(llrs []float64) ([]byte, error) {
+	if len(llrs)%outputsPerStep != 0 {
+		return nil, fmt.Errorf("convolutional: %d LLRs not a multiple of 3", len(llrs))
+	}
+	n := len(llrs) / outputsPerStep
+	if n < memory {
+		return nil, fmt.Errorf("convolutional: %d steps shorter than memory %d", n, memory)
+	}
+	s0 := llrs[0:n]
+	s1 := llrs[n : 2*n]
+	s2 := llrs[2*n : 3*n]
+
+	// Branch metric for (state, input) at step i: correlation of expected
+	// symbols (±1) with the received LLRs.
+	branch := func(i, s int, u byte) float64 {
+		b0, b1, b2 := outputBits(s, u)
+		m := 0.0
+		m += corr(s0[i%n], b0)
+		m += corr(s1[i%n], b1)
+		m += corr(s2[i%n], b2)
+		return m
+	}
+
+	// Two circular passes; decisions recorded for the second.
+	total := 2 * n
+	metric := make([]float64, numStates) // all-zero start: equal priors
+	next := make([]float64, numStates)
+	decisions := make([][numStates]byte, total)
+	for i := 0; i < total; i++ {
+		for s := range next {
+			next[s] = math.Inf(-1)
+		}
+		for s := 0; s < numStates; s++ {
+			ms := metric[s]
+			if math.IsInf(ms, -1) {
+				continue
+			}
+			for u := byte(0); u <= 1; u++ {
+				ns := nextState(s, u)
+				m := ms + branch(i, s, u)
+				if m > next[ns] {
+					next[ns] = m
+					decisions[i][ns] = byte(s>>5) | u<<1 // MSB of s + input, see traceback
+				}
+			}
+		}
+		copy(metric, next)
+		// Normalize to avoid drift.
+		best := metric[0]
+		for _, v := range metric[1:] {
+			if v > best {
+				best = v
+			}
+		}
+		for s := range metric {
+			metric[s] -= best
+		}
+	}
+
+	// Traceback from the best final state through both passes; emit the
+	// middle window [n/2, n/2+n) which sits away from both edges.
+	bestState := 0
+	for s := 1; s < numStates; s++ {
+		if metric[s] > metric[bestState] {
+			bestState = s
+		}
+	}
+	decoded := make([]byte, total)
+	s := bestState
+	for i := total - 1; i >= 0; i-- {
+		d := decisions[i][s]
+		u := (d >> 1) & 1
+		msb := d & 1
+		decoded[i] = u
+		// Previous state: shift right, restoring the dropped MSB.
+		s = (s >> 1) | int(msb)<<5
+	}
+	out := make([]byte, n)
+	start := n / 2
+	for i := 0; i < n; i++ {
+		out[(start+i)%n] = decoded[start+i]
+	}
+	return out, nil
+}
+
+func corr(llr float64, b byte) float64 {
+	if b == 1 {
+		return -llr
+	}
+	return llr
+}
+
+// EncodeDCI attaches an RNTI-masked CRC16 to a control payload and
+// convolutionally encodes it, per the PDCCH construction: the CRC is XORed
+// with the 16-bit RNTI so only the addressed terminal's check passes.
+func EncodeDCI(payload []byte, rnti uint16) ([]byte, error) {
+	msg := append([]byte(nil), payload...)
+	crc := bits.CRC16(msg) ^ uint32(rnti)
+	msg = bits.AppendCRC(msg, crc, 16)
+	return Encode(msg)
+}
+
+// DecodeDCI Viterbi-decodes a DCI candidate and verifies its CRC16 against
+// the given RNTI. It returns the payload and whether the check passed —
+// the blind-decoding primitive of the control channel.
+func DecodeDCI(llrs []float64, rnti uint16, payloadBits int) ([]byte, bool, error) {
+	msg, err := Decode(llrs)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(msg) != payloadBits+16 {
+		return nil, false, fmt.Errorf("convolutional: decoded %d bits, want %d", len(msg), payloadBits+16)
+	}
+	payload := msg[:payloadBits]
+	var got uint32
+	for _, b := range msg[payloadBits:] {
+		got = got<<1 | uint32(b&1)
+	}
+	want := bits.CRC16(payload) ^ uint32(rnti)
+	return payload, got == want, nil
+}

@@ -1,0 +1,173 @@
+package convolutional
+
+import (
+	"math"
+	"testing"
+
+	"rtopex/internal/bits"
+	"rtopex/internal/stats"
+)
+
+func randomMsg(r *stats.RNG, n int) []byte {
+	m := make([]byte, n)
+	bits.RandomBits(m, r.Uint64)
+	return m
+}
+
+// toLLR converts coded bits to noisy LLRs at the given Es/N0.
+func toLLR(r *stats.RNG, coded []byte, snrDB float64) []float64 {
+	n0 := math.Pow(10, -snrDB/10)
+	sigma := math.Sqrt(n0 / 2)
+	out := make([]float64, len(coded))
+	for i, b := range coded {
+		s := 1.0
+		if b == 1 {
+			s = -1
+		}
+		out[i] = 4 * (s + sigma*r.NormFloat64()) / n0
+	}
+	return out
+}
+
+func TestEncodeShape(t *testing.T) {
+	r := stats.NewRNG(1)
+	msg := randomMsg(r, 40)
+	coded, err := Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coded) != 120 {
+		t.Fatalf("coded length %d, want 120 (rate 1/3, no tail)", len(coded))
+	}
+}
+
+func TestEncodeRejectsShort(t *testing.T) {
+	if _, err := Encode(make([]byte, 5)); err == nil {
+		t.Fatal("sub-memory message accepted")
+	}
+}
+
+func TestTailBitingCircularity(t *testing.T) {
+	// Rotating the message rotates each output stream identically — the
+	// defining property of a tail-biting code.
+	r := stats.NewRNG(2)
+	n := 48
+	msg := randomMsg(r, n)
+	rot := append(append([]byte(nil), msg[1:]...), msg[0])
+	a, _ := Encode(msg)
+	b, _ := Encode(rot)
+	for stream := 0; stream < 3; stream++ {
+		for i := 0; i < n; i++ {
+			if a[stream*n+(i+1)%n] != b[stream*n+i] {
+				t.Fatalf("stream %d not circular at %d", stream, i)
+			}
+		}
+	}
+}
+
+func TestDecodeNoiseless(t *testing.T) {
+	r := stats.NewRNG(3)
+	for _, n := range []int{8, 24, 40, 72, 128} {
+		msg := randomMsg(r, n)
+		coded, _ := Encode(msg)
+		llrs := make([]float64, len(coded))
+		for i, b := range coded {
+			llrs[i] = 8 * (1 - 2*float64(b))
+		}
+		got, err := Decode(llrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bits.HammingDistance(got, msg) != 0 {
+			t.Fatalf("n=%d: noiseless decode failed", n)
+		}
+	}
+}
+
+func TestDecodeUnderNoise(t *testing.T) {
+	// Rate-1/3 K=7 at 2 dB Es/N0 should decode essentially always for
+	// short control payloads.
+	r := stats.NewRNG(4)
+	errs := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		msg := randomMsg(r, 44) // typical DCI size + CRC
+		coded, _ := Encode(msg)
+		got, err := Decode(toLLR(r, coded, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bits.HammingDistance(got, msg) != 0 {
+			errs++
+		}
+	}
+	if errs > 2 {
+		t.Fatalf("%d/%d blocks failed at 2 dB", errs, trials)
+	}
+}
+
+func TestDecodeValidation(t *testing.T) {
+	if _, err := Decode(make([]float64, 10)); err == nil {
+		t.Fatal("non-multiple-of-3 accepted")
+	}
+	if _, err := Decode(make([]float64, 9)); err == nil {
+		t.Fatal("sub-memory length accepted")
+	}
+}
+
+func TestDCIRoundTrip(t *testing.T) {
+	r := stats.NewRNG(5)
+	payload := randomMsg(r, 28)
+	const rnti = 0x1234
+	coded, err := EncodeDCI(payload, rnti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := DecodeDCI(toLLR(r, coded, 4), rnti, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("CRC failed for the addressed RNTI")
+	}
+	if bits.HammingDistance(got, payload) != 0 {
+		t.Fatal("payload corrupted")
+	}
+}
+
+func TestDCIBlindDecodingRejectsWrongRNTI(t *testing.T) {
+	// The RNTI mask is what makes blind decoding selective: the same
+	// candidate must fail the CRC under any other RNTI.
+	r := stats.NewRNG(6)
+	payload := randomMsg(r, 28)
+	coded, _ := EncodeDCI(payload, 0x0042)
+	llrs := toLLR(r, coded, 6)
+	if _, ok, _ := DecodeDCI(llrs, 0x0042, 28); !ok {
+		t.Fatal("addressed RNTI rejected")
+	}
+	for _, wrong := range []uint16{0x0041, 0x4242, 0xFFFF} {
+		if _, ok, _ := DecodeDCI(llrs, wrong, 28); ok {
+			t.Fatalf("RNTI %#x accepted a foreign grant", wrong)
+		}
+	}
+}
+
+func TestDCISizeValidation(t *testing.T) {
+	r := stats.NewRNG(7)
+	coded, _ := EncodeDCI(randomMsg(r, 28), 1)
+	if _, _, err := DecodeDCI(toLLR(r, coded, 6), 1, 99); err == nil {
+		t.Fatal("wrong payload size accepted")
+	}
+}
+
+func BenchmarkViterbiDecode44(b *testing.B) {
+	r := stats.NewRNG(8)
+	msg := randomMsg(r, 44)
+	coded, _ := Encode(msg)
+	llrs := toLLR(r, coded, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Decode(llrs)
+	}
+}

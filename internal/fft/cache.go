@@ -1,0 +1,33 @@
+package fft
+
+import "sync"
+
+var (
+	cacheMu    sync.Mutex
+	plans      = map[int]*Plan{}
+	bluesteins = map[int]*bluestein{}
+)
+
+// planCache returns a shared Plan for power-of-two size n.
+func planCache(n int) *Plan {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if p, ok := plans[n]; ok {
+		return p
+	}
+	p := MustPlan(n)
+	plans[n] = p
+	return p
+}
+
+// bluesteinCache returns a shared Bluestein kernel for arbitrary size n.
+func bluesteinCache(n int) *bluestein {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if b, ok := bluesteins[n]; ok {
+		return b
+	}
+	b := newBluestein(n)
+	bluesteins[n] = b
+	return b
+}

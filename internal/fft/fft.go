@@ -1,0 +1,190 @@
+// Package fft implements the discrete Fourier transforms needed by the LTE
+// uplink chain: an iterative radix-2 FFT for the OFDM (de)modulation sizes
+// (powers of two: 512, 1024, 2048) and Bluestein's chirp-z algorithm for the
+// SC-FDMA transform precoding sizes (12·nPRB, e.g. 600 for 50 PRBs), which
+// are not powers of two.
+//
+// Conventions: Forward computes X[k] = Σ x[n]·e^{-2πi kn/N} (no scaling);
+// Inverse divides by N so Inverse(Forward(x)) == x.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Plan caches the twiddle factors and bit-reversal permutation for a fixed
+// power-of-two size. Plans are safe for concurrent use once built: Forward
+// and Inverse write only to their argument.
+type Plan struct {
+	n       int
+	rev     []int
+	twiddle []complex128 // e^{-2πi k / n} for k in [0, n/2)
+}
+
+// NewPlan builds a plan for size n, which must be a power of two >= 1.
+func NewPlan(n int) (*Plan, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: size %d is not a positive power of two", n)
+	}
+	p := &Plan{n: n, rev: make([]int, n), twiddle: make([]complex128, n/2)}
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		p.rev[i] = int(bits.Reverse64(uint64(i)) >> shift)
+	}
+	for k := 0; k < n/2; k++ {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		p.twiddle[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	return p, nil
+}
+
+// MustPlan is NewPlan that panics on error, for static sizes.
+func MustPlan(n int) *Plan {
+	p, err := NewPlan(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Size returns the transform length.
+func (p *Plan) Size() int { return p.n }
+
+// Forward computes the in-place DFT of x, which must have length Size().
+func (p *Plan) Forward(x []complex128) {
+	p.transform(x, false)
+}
+
+// Inverse computes the in-place inverse DFT of x (scaled by 1/N).
+func (p *Plan) Inverse(x []complex128) {
+	p.transform(x, true)
+	inv := complex(1/float64(p.n), 0)
+	for i := range x {
+		x[i] *= inv
+	}
+}
+
+func (p *Plan) transform(x []complex128, inverse bool) {
+	n := p.n
+	if len(x) != n {
+		panic(fmt.Sprintf("fft: input length %d, plan size %d", len(x), n))
+	}
+	// Bit-reversal permutation.
+	for i, j := range p.rev {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Iterative Cooley-Tukey butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			ti := 0
+			for k := start; k < start+half; k++ {
+				w := p.twiddle[ti]
+				if inverse {
+					w = complex(real(w), -imag(w))
+				}
+				u := x[k]
+				v := x[k+half] * w
+				x[k] = u + v
+				x[k+half] = u - v
+				ti += step
+			}
+		}
+	}
+}
+
+// bluestein converts an arbitrary-size DFT into a convolution evaluated with
+// power-of-two FFTs. Chirp tables and sub-plans are cached per DFT size.
+type bluestein struct {
+	n     int
+	m     int // convolution FFT size, power of two >= 2n-1
+	plan  *Plan
+	chirp []complex128 // w[k] = e^{-iπ k²/n}
+	bHat  []complex128 // FFT of the conjugate-chirp kernel
+}
+
+func newBluestein(n int) *bluestein {
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	b := &bluestein{n: n, m: m, plan: MustPlan(m)}
+	b.chirp = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k² mod 2n keeps the angle argument small and exact.
+		kk := (k * k) % (2 * n)
+		ang := -math.Pi * float64(kk) / float64(n)
+		b.chirp[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	bb := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		c := complex(real(b.chirp[k]), -imag(b.chirp[k])) // conj chirp
+		bb[k] = c
+		if k > 0 {
+			bb[m-k] = c
+		}
+	}
+	b.plan.Forward(bb)
+	b.bHat = bb
+	return b
+}
+
+func (b *bluestein) forward(x []complex128) []complex128 {
+	a := make([]complex128, b.m)
+	for k := 0; k < b.n; k++ {
+		a[k] = x[k] * b.chirp[k]
+	}
+	b.plan.Forward(a)
+	for i := range a {
+		a[i] *= b.bHat[i]
+	}
+	b.plan.Inverse(a)
+	out := make([]complex128, b.n)
+	for k := 0; k < b.n; k++ {
+		out[k] = a[k] * b.chirp[k]
+	}
+	return out
+}
+
+// DFT computes the forward DFT of x at any length, choosing radix-2 when the
+// length is a power of two and Bluestein otherwise. It allocates its result.
+func DFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) == 0 {
+		out := append([]complex128(nil), x...)
+		planCache(n).Forward(out)
+		return out
+	}
+	return bluesteinCache(n).forward(x)
+}
+
+// IDFT computes the inverse DFT (scaled by 1/N) of x at any length.
+func IDFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	// IDFT(x) = conj(DFT(conj(x)))/N.
+	tmp := make([]complex128, n)
+	for i, v := range x {
+		tmp[i] = complex(real(v), -imag(v))
+	}
+	out := DFT(tmp)
+	inv := 1 / float64(n)
+	for i, v := range out {
+		out[i] = complex(real(v)*inv, -imag(v)*inv)
+	}
+	return out
+}
+
+// The caches below are read-mostly maps guarded by copy-on-write semantics;
+// the chain uses a handful of fixed sizes (600, 1024, 2048), so contention
+// is not a concern, but we still guard with a mutex for safety.

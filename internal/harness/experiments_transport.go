@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"fmt"
+
+	"rtopex/internal/lte"
+	"rtopex/internal/stats"
+	"rtopex/internal/transport"
+)
+
+func init() {
+	register("fig6", "Distribution of cloud network delay (1 vs 10 GbE)", fig6)
+	register("fig7", "One-way transport latency vs antennas (5/10 MHz)", fig7)
+}
+
+// fig6 samples the one-way cloud latency at 1000 packets/s worth of draws.
+func fig6(o Options) (*Table, error) {
+	t := &Table{ID: "fig6", Title: "One-way cloud network latency (µs)",
+		Columns: []string{"link", "mean", "p50", "p99", "p99.99", "P(>250us)"}}
+	n := o.samples()
+	for _, rate := range []float64{1, 10} {
+		c := transport.NewCloud(rate)
+		r := stats.NewRNG(o.seed() + uint64(rate))
+		xs := make([]float64, n)
+		over := 0
+		for i := range xs {
+			xs[i] = c.Sample(r)
+			if xs[i] > 250 {
+				over++
+			}
+		}
+		s := stats.Summarize(xs)
+		t.AddRow(fmt.Sprintf("%.0fGbE", rate), s.Mean, s.P50, s.P99, s.P9999, float64(over)/float64(n))
+	}
+	t.Notes = append(t.Notes,
+		"paper: mean ≈0.15 ms with a long tail — about 1 in 1e4 packets above 0.25 ms on both links")
+	return t, nil
+}
+
+// fig7 computes the radio→GPP one-way latency across antenna counts.
+func fig7(o Options) (*Table, error) {
+	t := &Table{ID: "fig7", Title: "One-way IQ transport latency (µs) vs antennas",
+		Columns: []string{"antennas", "5MHz", "10MHz"}}
+	tr := transport.DefaultIQTransport
+	for _, n := range []int{1, 2, 4, 8, 12, 16} {
+		l5, err := tr.OneWayUS(lte.BW5MHz, n)
+		if err != nil {
+			return nil, err
+		}
+		l10, err := tr.OneWayUS(lte.BW10MHz, n)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(n, l5, l10)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("max antennas within the 1 ms subframe budget: %d at 10 MHz (paper: 8), %d at 5 MHz",
+			tr.MaxAntennas(lte.BW10MHz, 1000), tr.MaxAntennas(lte.BW5MHz, 1000)),
+		"paper anchors: ≈620 µs max at 5 MHz; >1000 µs at 10 MHz with 16 antennas; ≈0.9 ms at 8")
+	return t, nil
+}

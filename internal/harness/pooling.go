@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"rtopex/internal/lte"
+	"rtopex/internal/model"
+	"rtopex/internal/sched"
+	"rtopex/internal/trace"
+	"rtopex/internal/transport"
+)
+
+func init() {
+	register("ext-pooling", "Resource pooling: cores needed, partitioned vs shared pool", extPooling)
+}
+
+// extPooling quantifies the intro's resource-pooling motivation (CloudIQ's
+// "22% reduction in compute resources"): for growing basestation counts,
+// how many cores does a shared-pool (global) scheduler need to stay under
+// the 1e-2 miss threshold, versus the 2-per-basestation WCET provisioning
+// of the partitioned schedule?
+func extPooling(o Options) (*Table, error) {
+	t := &Table{ID: "ext-pooling", Title: "Cores required at the 1e-2 miss threshold (RTT/2 = 450 µs)",
+		Columns: []string{"basestations", "partitioned_cores", "pooled_cores", "savings"}}
+	const rtt2 = 450
+	for _, m := range []int{4, 8, 12, 16} {
+		profiles := make([]trace.Profile, m)
+		for i := range profiles {
+			profiles[i] = trace.DefaultProfiles[i%len(trace.DefaultProfiles)]
+		}
+		w, err := sched.BuildWorkload(sched.WorkloadConfig{
+			Basestations:   m,
+			Subframes:      o.subframes(),
+			Antennas:       2,
+			Bandwidth:      lte.BW10MHz,
+			SNRdB:          30,
+			Lm:             4,
+			Params:         model.PaperGPP,
+			Jitter:         model.DefaultJitter,
+			IterLaw:        model.DefaultIterationLaw,
+			Profiles:       profiles,
+			FixedMCS:       -1,
+			Transport:      transport.FixedPath{OneWay: rtt2},
+			ExpectedRTT2US: rtt2,
+			Seed:           o.seed() + uint64(30+m),
+		})
+		if err != nil {
+			return nil, err
+		}
+		partCores := 2 * m
+		pooled, err := minPooledCores(w, partCores)
+		if err != nil {
+			return nil, err
+		}
+		savings := 1 - float64(pooled)/float64(partCores)
+		t.AddRow(m, partCores, pooled, savings)
+	}
+	t.Notes = append(t.Notes,
+		"pooled = smallest core count at which the shared-queue scheduler stays at or under a 1e-2 miss rate",
+		"paper intro cites CloudIQ's ~22% compute reduction from pooling; the saving grows with the number of pooled basestations (statistical multiplexing)")
+	return t, nil
+}
+
+// minPooledCores binary-searches the smallest core count keeping the
+// global scheduler at or under the 1e-2 threshold.
+func minPooledCores(w *sched.Workload, hi int) (int, error) {
+	const threshold = 1e-2
+	feasible := func(cores int) (bool, error) {
+		m, err := sched.Run(w, sched.NewGlobal(), cores)
+		if err != nil {
+			return false, err
+		}
+		return m.MissRate() <= threshold, nil
+	}
+	lo := 1
+	// Ensure the upper bound is feasible; widen once if not (cache
+	// overheads can push global past partitioned provisioning).
+	for {
+		ok, err := feasible(hi)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			break
+		}
+		hi *= 2
+		if hi > 256 {
+			return 0, nil
+		}
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		ok, err := feasible(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi, nil
+}

@@ -1,0 +1,182 @@
+package lte
+
+import (
+	"math"
+	"testing"
+
+	"rtopex/internal/modulation"
+)
+
+func TestBandwidthNumerology(t *testing.T) {
+	if BW10MHz.SamplesPerSubframe() != 15360 {
+		t.Fatalf("10 MHz samples/subframe = %d, want 15360 (paper §4.2)", BW10MHz.SamplesPerSubframe())
+	}
+	if BW5MHz.SamplesPerSubframe() != 7680 {
+		t.Fatal("5 MHz samples wrong")
+	}
+	if BW10MHz.Subcarriers() != 600 || BW10MHz.TotalREs() != 8400 {
+		t.Fatalf("10 MHz REs = %d, want 8400 (paper §2.1)", BW10MHz.TotalREs())
+	}
+	if BW10MHz.DataREs() != 7200 {
+		t.Fatalf("10 MHz data REs = %d, want 7200", BW10MHz.DataREs())
+	}
+}
+
+func TestCPLengths(t *testing.T) {
+	// 1024-point numerology: 80 for slot-leading symbols, 72 otherwise;
+	// total samples per subframe must be exactly 15360.
+	if BW10MHz.CPLen(0) != 80 || BW10MHz.CPLen(7) != 80 {
+		t.Fatal("slot-leading CP wrong")
+	}
+	if BW10MHz.CPLen(1) != 72 || BW10MHz.CPLen(13) != 72 {
+		t.Fatal("regular CP wrong")
+	}
+	total := 0
+	for l := 0; l < SymbolsPerSubframe; l++ {
+		total += BW10MHz.CPLen(l) + BW10MHz.FFTSize
+	}
+	if total != BW10MHz.SamplesPerSubframe() {
+		t.Fatalf("CP accounting: %d samples, want %d", total, BW10MHz.SamplesPerSubframe())
+	}
+	total = 0
+	for l := 0; l < SymbolsPerSubframe; l++ {
+		total += BW5MHz.CPLen(l) + BW5MHz.FFTSize
+	}
+	if total != BW5MHz.SamplesPerSubframe() {
+		t.Fatalf("5 MHz CP accounting: %d", total)
+	}
+}
+
+func TestMCSTableBoundaries(t *testing.T) {
+	cases := []struct {
+		mcs    int
+		scheme modulation.Scheme
+		itbs   int
+	}{
+		{0, modulation.QPSK, 0}, {10, modulation.QPSK, 10},
+		{11, modulation.QAM16, 10}, {20, modulation.QAM16, 19},
+		{21, modulation.QAM64, 19}, {27, modulation.QAM64, 25}, {28, modulation.QAM64, 26},
+	}
+	for _, c := range cases {
+		info, err := MCSTable(c.mcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Scheme != c.scheme || info.ITBS != c.itbs {
+			t.Errorf("MCS %d -> %v/I_TBS %d, want %v/%d", c.mcs, info.Scheme, info.ITBS, c.scheme, c.itbs)
+		}
+	}
+	for _, bad := range []int{-1, 29, 100} {
+		if _, err := MCSTable(bad); err == nil {
+			t.Errorf("MCS %d accepted", bad)
+		}
+	}
+}
+
+func TestTBSMonotone(t *testing.T) {
+	for _, prb := range []int{25, 50, 100} {
+		prev := 0
+		for itbs := 0; itbs <= 26; itbs++ {
+			tbs, err := TBS(itbs, prb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tbs <= prev {
+				t.Fatalf("TBS not increasing at I_TBS %d, PRB %d", itbs, prb)
+			}
+			prev = tbs
+		}
+	}
+}
+
+func TestTBSPaperAnchors(t *testing.T) {
+	// The paper quotes 1.3 and 31.7 Mbps as the nominal throughput range
+	// for 10 MHz, and D from 0.16 to 3.7 bits/RE.
+	lo, err := ThroughputMbps(0, BW10MHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := ThroughputMbps(27, BW10MHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lo-1.384) > 1e-9 || math.Abs(hi-31.704) > 1e-9 {
+		t.Fatalf("throughput range [%v, %v], want [1.384, 31.704]", lo, hi)
+	}
+	dLo, _ := SubcarrierLoad(0, BW10MHz)
+	dHi, _ := SubcarrierLoad(27, BW10MHz)
+	if math.Abs(dLo-0.1648) > 1e-3 || math.Abs(dHi-3.774) > 1e-3 {
+		t.Fatalf("D range [%v, %v], want ~[0.16, 3.7]", dLo, dHi)
+	}
+}
+
+func TestTBSErrors(t *testing.T) {
+	if _, err := TBS(0, 7); err == nil {
+		t.Error("unsupported PRB accepted")
+	}
+	if _, err := TBS(27, 50); err == nil {
+		t.Error("I_TBS 27 accepted")
+	}
+	if _, err := TBS(-1, 50); err == nil {
+		t.Error("negative I_TBS accepted")
+	}
+	if _, _, err := TransportBlockSize(99, 50); err == nil {
+		t.Error("bad MCS accepted")
+	}
+	if _, err := SubcarrierLoad(0, Bandwidth{PRB: 7}); err == nil {
+		t.Error("bad bandwidth accepted")
+	}
+	if _, err := ThroughputMbps(99, BW10MHz); err == nil {
+		t.Error("bad MCS accepted in throughput")
+	}
+	if _, err := CodewordBits(99, BW10MHz); err == nil {
+		t.Error("bad MCS accepted in codeword bits")
+	}
+}
+
+func TestCodewordBits(t *testing.T) {
+	g, err := CodewordBits(27, BW10MHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != 7200*6 {
+		t.Fatalf("G = %d, want 43200", g)
+	}
+	g, _ = CodewordBits(5, BW10MHz)
+	if g != 7200*2 {
+		t.Fatalf("QPSK G = %d", g)
+	}
+}
+
+func TestCodeRateFeasible(t *testing.T) {
+	// Every MCS must fit its transport block (plus CRCs) into the codeword
+	// at a code rate <= 0.93 (the standard's practical ceiling).
+	for _, bw := range []Bandwidth{BW5MHz, BW10MHz, BW20MHz} {
+		for mcs := 0; mcs <= MaxMCS; mcs++ {
+			tbs, _, err := TransportBlockSize(mcs, bw.PRB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, _ := CodewordBits(mcs, bw)
+			rate := float64(tbs+24) / float64(g)
+			if rate > 0.93 {
+				t.Errorf("MCS %d @ %v MHz: code rate %.3f too high", mcs, bw.MHz, rate)
+			}
+			if rate < 0.05 {
+				t.Errorf("MCS %d @ %v MHz: code rate %.3f suspiciously low", mcs, bw.MHz, rate)
+			}
+		}
+	}
+}
+
+func TestSubcarrierLoadScalesAcrossBandwidth(t *testing.T) {
+	// D should be roughly bandwidth-independent at the same MCS (TBS scales
+	// with PRBs).
+	for _, mcs := range []int{0, 13, 27} {
+		d10, _ := SubcarrierLoad(mcs, BW10MHz)
+		d20, _ := SubcarrierLoad(mcs, BW20MHz)
+		if math.Abs(d10-d20)/d10 > 0.15 {
+			t.Errorf("MCS %d: D(10MHz)=%v vs D(20MHz)=%v", mcs, d10, d20)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package phy
+
+import (
+	"testing"
+
+	"rtopex/internal/bits"
+	"rtopex/internal/channel"
+	"rtopex/internal/lte"
+	"rtopex/internal/stats"
+)
+
+func runDLLink(t *testing.T, cfg Config, snrDB float64, seed uint64) (payload []byte, res Result) {
+	t.Helper()
+	tx, err := NewDLTransmitter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload = make([]byte, tx.TBS())
+	r := stats.NewRNG(seed)
+	bits.RandomBits(payload, r.Uint64)
+	wave, err := tx.Transmit(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.New(snrDB, cfg.Antennas, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iq, _ := ch.Apply(wave)
+	rx, err := NewDLReceiver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = rx.Process(iq, ch.N0())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return payload, res
+}
+
+func TestDownlinkLinkAcrossMCS(t *testing.T) {
+	for _, mcs := range []int{0, 9, 15, 21, 27} {
+		cfg := testConfig(mcs, 2)
+		payload, res := runDLLink(t, cfg, 30, uint64(500+mcs))
+		if !res.OK {
+			t.Fatalf("MCS %d: downlink decode failed at 30 dB", mcs)
+		}
+		if bits.HammingDistance(res.Payload, payload) != 0 {
+			t.Fatalf("MCS %d: payload corrupted", mcs)
+		}
+	}
+}
+
+func TestDownlinkSingleAntennaAnd5MHz(t *testing.T) {
+	cfg := testConfig(13, 1)
+	if payload, res := runDLLink(t, cfg, 30, 600); !res.OK || bits.HammingDistance(res.Payload, payload) != 0 {
+		t.Fatal("single-antenna downlink failed")
+	}
+	cfg5 := testConfig(10, 2)
+	cfg5.Bandwidth = lte.BW5MHz
+	if payload, res := runDLLink(t, cfg5, 30, 601); !res.OK || bits.HammingDistance(res.Payload, payload) != 0 {
+		t.Fatal("5 MHz downlink failed")
+	}
+}
+
+func TestDownlinkOverMultipath(t *testing.T) {
+	// Scattered CRS with frequency interpolation must track a selective
+	// channel.
+	cfg := testConfig(10, 2)
+	tx, _ := NewDLTransmitter(cfg)
+	payload := make([]byte, tx.TBS())
+	r := stats.NewRNG(602)
+	bits.RandomBits(payload, r.Uint64)
+	wave, _ := tx.Transmit(payload)
+	ch, err := channel.NewMultipath(30, 2, channel.EPA, 603)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iq, _ := ch.Apply(wave)
+	rx, _ := NewDLReceiver(cfg)
+	res, err := rx.Process(iq, ch.N0())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || bits.HammingDistance(res.Payload, payload) != 0 {
+		t.Fatal("downlink EPA link failed")
+	}
+}
+
+func TestDownlinkREAccounting(t *testing.T) {
+	// 10 MHz: 8400 total REs minus 4 CRS symbols × 100 pilots = 8000.
+	if got := dlDataREs(42, lte.BW10MHz); got != 8000 {
+		t.Fatalf("data REs = %d, want 8000", got)
+	}
+	if got := dlDataREs(42, lte.BW5MHz); got != 25*12*14-4*50 {
+		t.Fatalf("5 MHz data REs = %d", got)
+	}
+}
+
+func TestCRSPattern(t *testing.T) {
+	// Pilot stride 6, cell-dependent shift, offset by 3 on the second CRS
+	// symbol of each slot.
+	cell := uint16(7) // shift 1
+	if !isCRS(cell, 0, 1) || isCRS(cell, 0, 2) {
+		t.Fatal("symbol 0 pattern wrong")
+	}
+	if !isCRS(cell, 4, 4) || isCRS(cell, 4, 1) {
+		t.Fatal("symbol 4 pattern wrong (3-offset)")
+	}
+	if isCRS(cell, 1, 1) || isCRS(cell, 13, 1) {
+		t.Fatal("non-CRS symbol carries pilots")
+	}
+	count := 0
+	for l := 0; l < lte.SymbolsPerSubframe; l++ {
+		for k := 0; k < lte.BW10MHz.Subcarriers(); k++ {
+			if isCRS(cell, l, k) {
+				count++
+			}
+		}
+	}
+	if count != 400 {
+		t.Fatalf("%d CRS REs, want 400", count)
+	}
+}
+
+func TestDownlinkValidation(t *testing.T) {
+	if _, err := NewDLTransmitter(Config{Bandwidth: lte.BW10MHz, MCS: 0}); err == nil {
+		t.Fatal("0 antennas accepted")
+	}
+	tx, _ := NewDLTransmitter(testConfig(5, 1))
+	if _, err := tx.Transmit(make([]byte, 3)); err == nil {
+		t.Fatal("wrong payload size accepted")
+	}
+	rx, _ := NewDLReceiver(testConfig(5, 2))
+	if _, err := rx.Process([][]complex128{make([]complex128, 100)}, 0.01); err == nil {
+		t.Fatal("wrong antenna count accepted")
+	}
+	if _, err := rx.Process([][]complex128{make([]complex128, 9), make([]complex128, 9)}, 0.01); err == nil {
+		t.Fatal("short samples accepted")
+	}
+}
+
+func TestDownlinkFailsAtLowSNR(t *testing.T) {
+	cfg := testConfig(27, 2)
+	_, res := runDLLink(t, cfg, -5, 604)
+	if res.OK {
+		t.Fatal("downlink CRC passed at -5 dB")
+	}
+}
+
+func BenchmarkDownlinkTransmitMCS27(b *testing.B) {
+	tx, _ := NewDLTransmitter(testConfig(27, 2))
+	r := stats.NewRNG(605)
+	payload := make([]byte, tx.TBS())
+	bits.RandomBits(payload, r.Uint64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = tx.Transmit(payload)
+	}
+}

@@ -1,0 +1,122 @@
+package phy
+
+import (
+	"fmt"
+
+	"rtopex/internal/bits"
+	"rtopex/internal/lte"
+)
+
+// RVSequence is the LTE redundancy-version cycling order for HARQ
+// retransmissions (TS 36.321): rv 0 first (systematic-heavy), then the
+// parity-heavy versions.
+var RVSequence = [4]int{0, 2, 3, 1}
+
+// HARQReceiver wraps a Receiver with per-code-block soft buffers that
+// accumulate across retransmissions: repeats of the same redundancy version
+// chase-combine (+3 dB per repeat), different versions add fresh parity
+// (incremental redundancy). This is the mechanism behind the paper's 3 ms
+// ACK/NACK loop — a NACKed subframe returns, combined, 8 ms later.
+type HARQReceiver struct {
+	rx   *Receiver
+	soft [][3][]float64 // per block: accumulated d0/d1/d2 streams
+	// Transmissions counts the combined transmissions so far.
+	Transmissions int
+}
+
+// NewHARQReceiver builds a HARQ-combining receiver for cfg.
+func NewHARQReceiver(cfg Config) (*HARQReceiver, error) {
+	rx, err := NewReceiver(cfg)
+	if err != nil {
+		return nil, err
+	}
+	h := &HARQReceiver{rx: rx}
+	h.Reset()
+	return h, nil
+}
+
+// Reset clears the soft buffers for a new transport block (after an ACK or
+// when the HARQ process is reassigned).
+func (h *HARQReceiver) Reset() {
+	h.Transmissions = 0
+	h.soft = make([][3][]float64, h.rx.layout.seg.C)
+	for r, k := range h.rx.layout.seg.Sizes {
+		d := k + 4
+		h.soft[r] = [3][]float64{
+			make([]float64, d), make([]float64, d), make([]float64, d),
+		}
+	}
+}
+
+// Receive demodulates one (re)transmission at redundancy version rv,
+// accumulates its soft bits into the HARQ buffers, and attempts to decode
+// from the combined evidence.
+func (h *HARQReceiver) Receive(iq [][]complex128, n0 float64, rv int) (Result, error) {
+	if rv < 0 || rv > 3 {
+		return Result{}, fmt.Errorf("phy: redundancy version %d out of 0..3", rv)
+	}
+	llrs, err := h.rx.SoftBits(iq, n0)
+	if err != nil {
+		return Result{}, err
+	}
+	h.Transmissions++
+	seg := h.rx.layout.seg
+	res := Result{
+		BlockOK:         make([]bool, seg.C),
+		BlockIterations: make([]int, seg.C),
+	}
+	blocks := make([][]byte, seg.C)
+	for r := 0; r < seg.C; r++ {
+		e := h.rx.layout.es[r]
+		off := h.rx.layout.offs[r]
+		if err := h.rx.rms[r].DematchInto(h.soft[r][0], h.soft[r][1], h.soft[r][2], llrs[off:off+e], rv); err != nil {
+			return Result{}, err
+		}
+		check := func(b []byte) bool {
+			if seg.C > 1 {
+				return bits.CheckCRC24B(b)
+			}
+			return bits.CheckCRC24A(b[seg.F:])
+		}
+		dres := h.rx.decoders[r].Decode(h.soft[r][0], h.soft[r][1], h.soft[r][2], check)
+		blocks[r] = append([]byte(nil), dres.Bits...)
+		res.BlockOK[r] = dres.OK
+		res.BlockIterations[r] = dres.Iterations
+		if dres.Iterations > res.Iterations {
+			res.Iterations = dres.Iterations
+		}
+	}
+	tb, err := seg.Join(blocks)
+	if err == nil && bits.CheckCRC24A(tb) {
+		res.OK = true
+		res.Payload = tb[:len(tb)-24]
+	}
+	return res, nil
+}
+
+// SoftBits runs the front half of the receive chain (FFT, channel
+// estimation, demod) serially and returns a copy of the descrambled
+// codeword LLRs — the input to rate dematching. HARQ uses it to combine
+// across transmissions; it is also the natural seam for external decoders.
+func (rx *Receiver) SoftBits(iq [][]complex128, n0 float64) ([]float64, error) {
+	stages, err := rx.Pipeline(iq, n0)
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range stages {
+		if st.Name == TaskDecode {
+			break
+		}
+		for _, sub := range st.Subtasks {
+			sub()
+		}
+	}
+	out := make([]float64, len(rx.llrs))
+	copy(out, rx.llrs)
+	return out, nil
+}
+
+// HARQBudgetSubframes is the earliest retransmission distance: the NACK
+// leaves in downlink subframe N+4 and the retransmission arrives 4
+// subframes later (8 ms round trip), per the §2.4 timeline.
+const HARQBudgetSubframes = 2 * lte.HARQDeadlineSubframes

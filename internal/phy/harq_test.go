@@ -1,0 +1,236 @@
+package phy
+
+import (
+	"testing"
+
+	"rtopex/internal/bits"
+	"rtopex/internal/channel"
+	"rtopex/internal/stats"
+)
+
+func TestTransmitRVValidation(t *testing.T) {
+	tx, _ := NewTransmitter(testConfig(5, 1))
+	p := make([]byte, tx.TBS())
+	if _, err := tx.TransmitRV(p, 4); err == nil {
+		t.Fatal("rv=4 accepted")
+	}
+	if _, err := tx.TransmitRV(p, -1); err == nil {
+		t.Fatal("rv=-1 accepted")
+	}
+}
+
+func TestRedundancyVersionsDiffer(t *testing.T) {
+	tx, _ := NewTransmitter(testConfig(21, 1))
+	r := stats.NewRNG(1)
+	p := make([]byte, tx.TBS())
+	bits.RandomBits(p, r.Uint64)
+	w0, err := tx.TransmitRV(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := tx.TransmitRV(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range w0 {
+		if w0[i] != w2[i] {
+			diff++
+		}
+	}
+	if diff < len(w0)/4 {
+		t.Fatalf("rv 0 and 2 waveforms differ in only %d/%d samples", diff, len(w0))
+	}
+}
+
+func TestEachRVDecodesStandalone(t *testing.T) {
+	// At a moderate code rate every redundancy version is self-decodable
+	// at high SNR.
+	cfg := testConfig(10, 2) // QPSK, rate ~0.6
+	tx, _ := NewTransmitter(cfg)
+	r := stats.NewRNG(2)
+	p := make([]byte, tx.TBS())
+	bits.RandomBits(p, r.Uint64)
+	for _, rv := range RVSequence {
+		wave, err := tx.TransmitRV(p, rv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, _ := channel.New(30, 2, uint64(10+rv))
+		iq, _ := ch.Apply(wave)
+		h, err := NewHARQReceiver(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := h.Receive(iq, ch.N0(), rv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK || bits.HammingDistance(res.Payload, p) != 0 {
+			t.Fatalf("rv=%d did not decode standalone at 30 dB", rv)
+		}
+	}
+}
+
+// harqTrial runs up to maxTx HARQ rounds at one SNR and reports how many
+// transmissions the decode needed (0 = never decoded).
+func harqTrial(t *testing.T, cfg Config, snrDB float64, maxTx int, seed uint64) int {
+	t.Helper()
+	tx, err := NewTransmitter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(seed)
+	p := make([]byte, tx.TBS())
+	bits.RandomBits(p, r.Uint64)
+	h, err := NewHARQReceiver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.New(snrDB, cfg.Antennas, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < maxTx; n++ {
+		rv := RVSequence[n%len(RVSequence)]
+		wave, err := tx.TransmitRV(p, rv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iq, _ := ch.Apply(wave)
+		res, err := h.Receive(iq, ch.N0(), rv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OK {
+			if bits.HammingDistance(res.Payload, p) != 0 {
+				t.Fatal("HARQ CRC passed on corrupted payload")
+			}
+			return n + 1
+		}
+	}
+	return 0
+}
+
+func TestHARQIncrementalRedundancyGain(t *testing.T) {
+	// Pick an SNR where the first transmission fails but IR combining
+	// succeeds within the 4-rv cycle.
+	cfg := testConfig(17, 2) // 16-QAM, rate ~0.64
+	cfg.MaxIterations = 6
+	succeededLater := false
+	for seed := uint64(100); seed < 106; seed++ {
+		n := harqTrial(t, cfg, 5.0, 4, seed)
+		if n == 1 {
+			continue // channel got lucky; try another seed
+		}
+		if n > 1 {
+			succeededLater = true
+			break
+		}
+	}
+	if !succeededLater {
+		t.Fatal("IR combining never rescued a failed first transmission")
+	}
+}
+
+func TestHARQChaseCombiningGain(t *testing.T) {
+	// Repeating rv=0 adds +3 dB per repeat: a link that fails single-shot
+	// at low SNR must close after a few repeats.
+	cfg := testConfig(13, 1)
+	cfg.MaxIterations = 6
+	tx, _ := NewTransmitter(cfg)
+	r := stats.NewRNG(3)
+	p := make([]byte, tx.TBS())
+	bits.RandomBits(p, r.Uint64)
+	h, _ := NewHARQReceiver(cfg)
+	ch, _ := channel.New(2, 1, 4) // far below the single-shot threshold
+	decodedAt := 0
+	for n := 1; n <= 6; n++ {
+		wave, _ := tx.TransmitRV(p, 0)
+		iq, _ := ch.Apply(wave)
+		res, err := h.Receive(iq, ch.N0(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 1 && res.OK {
+			t.Skip("single shot decoded at 2 dB — seed too lucky")
+		}
+		if res.OK {
+			decodedAt = n
+			break
+		}
+	}
+	if decodedAt == 0 {
+		t.Fatal("chase combining never closed the link")
+	}
+	if h.Transmissions != decodedAt {
+		t.Fatalf("transmission count %d, want %d", h.Transmissions, decodedAt)
+	}
+}
+
+func TestHARQReset(t *testing.T) {
+	cfg := testConfig(13, 1)
+	h, _ := NewHARQReceiver(cfg)
+	tx, _ := NewTransmitter(cfg)
+	r := stats.NewRNG(5)
+	p1 := make([]byte, tx.TBS())
+	bits.RandomBits(p1, r.Uint64)
+	ch, _ := channel.New(30, 1, 6)
+	wave, _ := tx.TransmitRV(p1, 0)
+	iq, _ := ch.Apply(wave)
+	if _, err := h.Receive(iq, ch.N0(), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Without Reset, a different payload would combine against stale soft
+	// bits; with Reset it decodes cleanly.
+	h.Reset()
+	if h.Transmissions != 0 {
+		t.Fatal("Reset did not clear the transmission count")
+	}
+	p2 := make([]byte, tx.TBS())
+	bits.RandomBits(p2, r.Uint64)
+	wave2, _ := tx.TransmitRV(p2, 0)
+	iq2, _ := ch.Apply(wave2)
+	res, err := h.Receive(iq2, ch.N0(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || bits.HammingDistance(res.Payload, p2) != 0 {
+		t.Fatal("decode after Reset failed")
+	}
+}
+
+func TestHARQRejectsBadRV(t *testing.T) {
+	cfg := testConfig(5, 1)
+	h, _ := NewHARQReceiver(cfg)
+	iq := [][]complex128{make([]complex128, cfg.Bandwidth.SamplesPerSubframe())}
+	if _, err := h.Receive(iq, 0.01, 7); err == nil {
+		t.Fatal("rv=7 accepted")
+	}
+}
+
+func TestSoftBitsLength(t *testing.T) {
+	cfg := testConfig(21, 2)
+	tx, _ := NewTransmitter(cfg)
+	rx, _ := NewReceiver(cfg)
+	p := make([]byte, tx.TBS())
+	wave, _ := tx.Transmit(p)
+	ch, _ := channel.New(30, 2, 7)
+	iq, _ := ch.Apply(wave)
+	llrs, err := rx.SoftBits(iq, ch.N0())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := lteCodewordBits(cfg)
+	if len(llrs) != g {
+		t.Fatalf("%d soft bits, want %d", len(llrs), g)
+	}
+}
+
+func lteCodewordBits(cfg Config) (int, error) {
+	l, err := newCodingLayout(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return l.g, nil
+}

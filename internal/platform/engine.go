@@ -1,0 +1,101 @@
+// Package platform provides the deterministic discrete-event engine the
+// C-RAN scheduler simulations run on. Time is a float64 microsecond clock;
+// events fire in nondecreasing time order with FIFO tie-breaking, so a run
+// is exactly reproducible from its inputs.
+//
+// The engine deliberately has no concept of goroutines or wall-clock time:
+// scheduler experiments need tens of thousands of 1 ms subframes with
+// microsecond-resolution timing, and running them against Go's runtime
+// would measure the Go scheduler and garbage collector rather than the
+// paper's design (see DESIGN.md §1).
+package platform
+
+import "container/heap"
+
+// Engine is a single-threaded discrete-event simulator.
+type Engine struct {
+	now float64
+	seq int64
+	pq  eventHeap
+}
+
+type event struct {
+	at  float64
+	seq int64
+	do  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// New creates an engine at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulation time in microseconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a simulation bug, and silently clamping would corrupt
+// causality.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		panic("platform: event scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: t, seq: e.seq, do: fn})
+}
+
+// After schedules fn to run d microseconds from now.
+func (e *Engine) After(d float64, fn func()) {
+	if d < 0 {
+		panic("platform: negative delay")
+	}
+	e.At(e.now+d, fn)
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return e.pq.Len() }
+
+// Step executes the next event and reports whether one existed.
+func (e *Engine) Step() bool {
+	if e.pq.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(event)
+	e.now = ev.at
+	ev.do()
+	return true
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ t, then advances the clock to t.
+// Events scheduled after t remain queued.
+func (e *Engine) RunUntil(t float64) {
+	for e.pq.Len() > 0 && e.pq[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}

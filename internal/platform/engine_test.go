@@ -1,0 +1,164 @@
+package platform
+
+import (
+	"testing"
+
+	"rtopex/internal/stats"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final time %v", e.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	var trace []float64
+	e.At(10, func() {
+		trace = append(trace, e.Now())
+		e.After(5, func() { trace = append(trace, e.Now()) })
+	})
+	e.Run()
+	if len(trace) != 2 || trace[0] != 10 || trace[1] != 15 {
+		t.Fatalf("trace %v", trace)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	e := New()
+	e.At(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for past event")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative delay")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	fired := map[float64]bool{}
+	for _, at := range []float64{10, 20, 30} {
+		at := at
+		e.At(at, func() { fired[at] = true })
+	}
+	e.RunUntil(20)
+	if !fired[10] || !fired[20] || fired[30] {
+		t.Fatalf("fired %v", fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("now %v", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending %d", e.Pending())
+	}
+	e.RunUntil(100)
+	if !fired[30] || e.Now() != 100 {
+		t.Fatal("RunUntil did not advance")
+	}
+}
+
+func TestStepAndPending(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+	e.At(1, func() {})
+	if e.Pending() != 1 {
+		t.Fatal("pending wrong")
+	}
+	if !e.Step() || e.Pending() != 0 {
+		t.Fatal("step accounting wrong")
+	}
+}
+
+func TestDeterminismUnderRandomInsertion(t *testing.T) {
+	run := func(seed uint64) []float64 {
+		r := stats.NewRNG(seed)
+		e := New()
+		var log []float64
+		var insert func(depth int)
+		insert = func(depth int) {
+			if depth > 3 {
+				return
+			}
+			n := 1 + r.Intn(3)
+			for i := 0; i < n; i++ {
+				d := r.Float64() * 100
+				e.After(d, func() {
+					log = append(log, e.Now())
+					insert(depth + 1)
+				})
+			}
+		}
+		insert(0)
+		e.Run()
+		return log
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("runs diverged")
+		}
+	}
+	// Log must be nondecreasing (causality).
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatal("time went backwards")
+		}
+	}
+}
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	e := New()
+	var fn func()
+	n := 0
+	fn = func() {
+		n++
+		if n < b.N {
+			e.After(1, fn)
+		}
+	}
+	e.After(1, fn)
+	b.ResetTimer()
+	e.Run()
+}

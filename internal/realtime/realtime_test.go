@@ -1,0 +1,95 @@
+package realtime
+
+import (
+	"testing"
+
+	"rtopex/internal/trace"
+)
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Basestations: 1, Subframes: 1, CoresPerBS: 0, Antennas: 1},
+		{Basestations: 1, Subframes: 1, CoresPerBS: 1, Antennas: 0},
+		{Basestations: 1, Subframes: 1, CoresPerBS: 1, Antennas: 1, MCS: 99},
+		{Basestations: 2, Subframes: 1, CoresPerBS: 1, Antennas: 1, MCS: -1,
+			Profiles: trace.DefaultProfiles[:1]},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestLiveRunFixedMCS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live run is wall-clock bound")
+	}
+	// Tiny but real: 1 basestation, low MCS (fast decode), generous
+	// dilation so even a loaded CI machine meets the deadlines.
+	st, err := Run(Config{
+		Basestations: 1,
+		CoresPerBS:   2,
+		Subframes:    10,
+		Antennas:     1,
+		SNRdB:        30,
+		MCS:          0,
+		Dilation:     30,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Subframes != 10 {
+		t.Fatalf("accounted %d subframes, want 10", st.Subframes)
+	}
+	if st.Decoded == 0 {
+		t.Fatal("nothing decoded in live mode")
+	}
+	if len(st.ProcUS) == 0 {
+		t.Fatal("no processing-time samples")
+	}
+	for _, p := range st.ProcUS {
+		if p <= 0 {
+			t.Fatal("non-positive processing time")
+		}
+	}
+}
+
+func TestLiveRunTraceDriven(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live run is wall-clock bound")
+	}
+	st, err := Run(Config{
+		Basestations: 2,
+		CoresPerBS:   2,
+		Subframes:    8,
+		Antennas:     1,
+		SNRdB:        30,
+		MCS:          -1,
+		Profiles:     trace.DefaultProfiles,
+		Dilation:     60,
+		Seed:         2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Subframes != 16 {
+		t.Fatalf("accounted %d subframes, want 16", st.Subframes)
+	}
+	// Tolerate misses (shared CI hardware) but decode must mostly work.
+	if st.Decoded+st.Missed < st.Subframes/2 {
+		t.Fatalf("too few completions: %+v", *st)
+	}
+}
+
+func TestStatsMissRate(t *testing.T) {
+	s := &Stats{Subframes: 10, Missed: 2, Dropped: 1}
+	if s.MissRate() != 0.3 {
+		t.Fatalf("miss rate %v", s.MissRate())
+	}
+	if (&Stats{}).MissRate() != 0 {
+		t.Fatal("empty stats miss rate")
+	}
+}

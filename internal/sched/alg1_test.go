@@ -1,0 +1,135 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rtopex/internal/stats"
+)
+
+func TestAlgorithm1Requirements(t *testing.T) {
+	// Property check of R1–R3 across random inputs.
+	r := stats.NewRNG(1)
+	f := func(raw uint32) bool {
+		p := int(raw%28) + 2
+		tp := 1 + r.Float64()*200
+		delta := r.Float64() * 40
+		free := make([]float64, 1+r.Intn(6))
+		for i := range free {
+			free[i] = r.Float64() * 1500
+		}
+		counts := Algorithm1(p, tp, delta, false, false, free)
+		s := p
+		maxoff := 0
+		for k, n := range counts {
+			if n < 0 {
+				return false
+			}
+			if n == 0 {
+				continue
+			}
+			// R1: batch fits the free window.
+			if delta+float64(n)*tp > free[k]+1e-9 {
+				return false
+			}
+			// R3 was applied against the S at allocation time; verify the
+			// global invariant instead: local remainder ≥ every batch (R2).
+			if n > maxoff {
+				maxoff = n
+			}
+			s -= n
+		}
+		// Local share must remain at least the largest batch and ≥ 1.
+		return s >= maxoff && s >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgorithm1HalvesOnOneIdleCore(t *testing.T) {
+	// Plenty of free time: exactly ⌊S/2⌋ should migrate.
+	counts := Algorithm1(28, 4, 20, false, false, []float64{10000})
+	if counts[0] != 14 {
+		t.Fatalf("migrated %d of 28, want 14", counts[0])
+	}
+	counts = Algorithm1(6, 175, 20, false, false, []float64{10000})
+	if counts[0] != 3 {
+		t.Fatalf("migrated %d of 6, want 3", counts[0])
+	}
+}
+
+func TestAlgorithm1LimitedWindow(t *testing.T) {
+	// Window fits only 2 subtasks after δ.
+	counts := Algorithm1(6, 175, 20, false, false, []float64{400})
+	if counts[0] != 2 {
+		t.Fatalf("migrated %d, want 2 (window 400 = δ20 + 2×175)", counts[0])
+	}
+	// Window smaller than δ: nothing migrates.
+	counts = Algorithm1(6, 175, 20, false, false, []float64{15})
+	if counts[0] != 0 {
+		t.Fatalf("migrated %d into a 15 µs window", counts[0])
+	}
+}
+
+func TestAlgorithm1PerSubtaskDelta(t *testing.T) {
+	// The listing's limoff = ⌊fck/(tp+δ)⌋.
+	counts := Algorithm1(6, 175, 20, true, false, []float64{400})
+	if counts[0] != 2 { // ⌊400/195⌋ = 2
+		t.Fatalf("per-subtask δ migrated %d, want 2", counts[0])
+	}
+	counts = Algorithm1(28, 4, 20, true, false, []float64{100})
+	if counts[0] != 4 { // ⌊100/24⌋ = 4
+		t.Fatalf("per-subtask δ migrated %d, want 4", counts[0])
+	}
+}
+
+func TestAlgorithm1MultiCoreBalance(t *testing.T) {
+	// R2 keeps the local thread the last to finish: after allocating to
+	// core 1, allocations to core 2 are bounded by S - maxoff.
+	counts := Algorithm1(12, 100, 0, false, false, []float64{10000, 10000})
+	// Core 1 gets ⌊12/2⌋ = 6; then S=6, maxoff=6 ⇒ core 2 gets min(0,...,3) = 0.
+	if counts[0] != 6 || counts[1] != 0 {
+		t.Fatalf("allocation %v, want [6 0]", counts)
+	}
+	// With a smaller first window both cores contribute.
+	counts = Algorithm1(12, 100, 0, false, false, []float64{320, 10000})
+	// Core 1: min(12, 3, 6) = 3; core 2: min(12-3-... S=9, maxoff=3): min(9-3, big, 4) = 4.
+	if counts[0] != 3 || counts[1] != 4 {
+		t.Fatalf("allocation %v, want [3 4]", counts)
+	}
+}
+
+func TestAlgorithm1Greedy(t *testing.T) {
+	counts := Algorithm1(12, 100, 0, false, true, []float64{10000})
+	if counts[0] != 11 { // greedy keeps only one local subtask
+		t.Fatalf("greedy migrated %d, want 11", counts[0])
+	}
+}
+
+func TestAlgorithm1Degenerate(t *testing.T) {
+	if c := Algorithm1(1, 100, 20, false, false, []float64{1000}); c[0] != 0 {
+		t.Fatal("single subtask must not migrate")
+	}
+	if c := Algorithm1(0, 100, 20, false, false, []float64{1000}); c[0] != 0 {
+		t.Fatal("zero subtasks must not migrate")
+	}
+	if c := Algorithm1(10, 0, 20, false, false, []float64{1000}); c[0] != 0 {
+		t.Fatal("zero tp must not migrate")
+	}
+	if c := Algorithm1(10, 100, 20, false, false, nil); len(c) != 0 {
+		t.Fatal("no cores must return empty")
+	}
+}
+
+func TestAlgorithm1StopsWhenExhausted(t *testing.T) {
+	// S drains to 1 before all cores are used.
+	counts := Algorithm1(4, 10, 0, false, false, []float64{1000, 1000, 1000, 1000})
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total > 3 {
+		t.Fatalf("migrated %d of 4 subtasks", total)
+	}
+}

@@ -1,0 +1,73 @@
+package sched
+
+import "rtopex/internal/platform"
+
+// serialExec runs one job's task sequence (FFT → demod → L decode
+// iterations) on a single core, with the slack-based deadline enforcement
+// of §4.1: before each task (and before each decode iteration — the finest
+// granularity at which the receiver can abandon work), the executor checks
+// whether the step's estimated time fits the remaining budget and drops the
+// subframe otherwise.
+//
+// extra is time consumed before the chain starts (dispatch overhead, cache
+// refill). The job's platform-error term strikes one phase, chosen
+// deterministically per job, so both drop-on-slack and late-completion
+// outcomes occur, as on the real platform.
+//
+// If terminateAtDeadline is set (the global scheduler's behavior), a job
+// still running at its deadline is cut off there and the core freed at the
+// deadline; otherwise the job runs to natural completion and is late.
+//
+// done fires on the engine at the moment the core becomes free.
+func serialExec(eng *platform.Engine, j *Job, extra float64, terminateAtDeadline bool, done func(Outcome, float64)) {
+	start := eng.Now()
+	t := start + extra
+
+	// Phase actual durations: estimates plus the jitter strike.
+	phases := make([]float64, 0, 2+j.L)
+	ests := make([]float64, 0, 2+j.L)
+	perIter := j.Tasks.Decode / float64(j.L)
+	ests = append(ests, j.Tasks.FFT, j.Tasks.Demod)
+	for i := 0; i < j.L; i++ {
+		ests = append(ests, perIter)
+	}
+	strike := j.Index % len(ests)
+	for i, e := range ests {
+		a := e
+		if i == strike {
+			a += j.JitterUS
+			if a < 0 {
+				a = 0
+			}
+		}
+		phases = append(phases, a)
+	}
+
+	for i := range ests {
+		if t+ests[i] > j.Deadline {
+			// Slack insufficient: drop now and free the core.
+			at := t
+			if at < start {
+				at = start
+			}
+			eng.At(at, func() { done(OutcomeDropped, -1) })
+			return
+		}
+		t += phases[i]
+		if terminateAtDeadline && t > j.Deadline {
+			eng.At(j.Deadline, func() { done(OutcomeLate, j.Deadline-start) })
+			return
+		}
+	}
+
+	finish := t
+	proc := finish - start
+	out := OutcomeACK
+	switch {
+	case finish > j.Deadline:
+		out = OutcomeLate
+	case !j.Decodable:
+		out = OutcomeDecodeFail
+	}
+	eng.At(finish, func() { done(out, proc) })
+}

@@ -1,0 +1,216 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"rtopex/internal/model"
+	"rtopex/internal/platform"
+	"rtopex/internal/stats"
+)
+
+// execJob runs serialExec on a fresh engine and returns the outcome.
+func execJob(t *testing.T, j *Job, extra float64, terminate bool) (Outcome, float64, float64) {
+	t.Helper()
+	eng := platform.New()
+	var out Outcome
+	var proc float64
+	done := false
+	serialExec(eng, j, extra, terminate, func(o Outcome, p float64) {
+		out, proc, done = o, p, true
+	})
+	eng.Run()
+	if !done {
+		t.Fatal("serialExec never completed")
+	}
+	return out, proc, eng.Now()
+}
+
+func makeJob(tasks model.TaskTimes, l int, budget float64, jitter float64) *Job {
+	return &Job{
+		BS: 0, Index: 1, // Index 1 strikes the demod phase for 2+L ≥ 3
+		L:         l,
+		Decodable: true,
+		Gen:       0, Arrival: 0, Deadline: budget,
+		Tasks:    tasks,
+		JitterUS: jitter,
+	}
+}
+
+func TestSerialExecHappyPath(t *testing.T) {
+	tasks := model.TaskTimes{FFT: 100, Demod: 200, Decode: 600}
+	j := makeJob(tasks, 3, 2000, 0)
+	out, proc, at := execJob(t, j, 0, false)
+	if out != OutcomeACK {
+		t.Fatalf("outcome %v", out)
+	}
+	if math.Abs(proc-900) > 1e-9 || math.Abs(at-900) > 1e-9 {
+		t.Fatalf("proc %v at %v, want 900", proc, at)
+	}
+}
+
+func TestSerialExecDecodeFail(t *testing.T) {
+	j := makeJob(model.TaskTimes{FFT: 10, Demod: 10, Decode: 10}, 1, 2000, 0)
+	j.Decodable = false
+	out, _, _ := execJob(t, j, 0, false)
+	if out != OutcomeDecodeFail {
+		t.Fatalf("outcome %v, want decode-fail", out)
+	}
+}
+
+func TestSerialExecDropsWhenFFTDoesNotFit(t *testing.T) {
+	j := makeJob(model.TaskTimes{FFT: 500, Demod: 10, Decode: 10}, 1, 400, 0)
+	out, proc, at := execJob(t, j, 0, false)
+	if out != OutcomeDropped || proc >= 0 {
+		t.Fatalf("outcome %v proc %v", out, proc)
+	}
+	if at != 0 {
+		t.Fatalf("drop fired at %v, want immediately", at)
+	}
+}
+
+func TestSerialExecDropsMidDecode(t *testing.T) {
+	// Budget covers FFT+demod+2 of 3 iterations: the third check drops.
+	tasks := model.TaskTimes{FFT: 100, Demod: 100, Decode: 900} // 300/iter
+	j := makeJob(tasks, 3, 850, 0)
+	out, _, at := execJob(t, j, 0, false)
+	if out != OutcomeDropped {
+		t.Fatalf("outcome %v", out)
+	}
+	if math.Abs(at-800) > 1e-9 { // dropped at the third iteration boundary
+		t.Fatalf("dropped at %v, want 800", at)
+	}
+}
+
+func TestSerialExecJitterMakesLate(t *testing.T) {
+	// Jitter striking the final phase (decode, Index 2 of 3) escapes every
+	// slack check and surfaces as a late completion.
+	tasks := model.TaskTimes{FFT: 100, Demod: 100, Decode: 300}
+	j := makeJob(tasks, 1, 520, 50)
+	j.Index = 2
+	out, proc, _ := execJob(t, j, 0, false)
+	if out != OutcomeLate {
+		t.Fatalf("outcome %v, want late", out)
+	}
+	if math.Abs(proc-550) > 1e-9 {
+		t.Fatalf("proc %v", proc)
+	}
+}
+
+func TestSerialExecNegativeJitterClamp(t *testing.T) {
+	tasks := model.TaskTimes{FFT: 100, Demod: 50, Decode: 300}
+	j := makeJob(tasks, 1, 2000, -500) // more negative than the phase
+	out, proc, _ := execJob(t, j, 0, false)
+	if out != OutcomeACK {
+		t.Fatalf("outcome %v", out)
+	}
+	// Demod phase clamps to zero: total = 100 + 0 + 300.
+	if math.Abs(proc-400) > 1e-9 {
+		t.Fatalf("proc %v, want 400", proc)
+	}
+}
+
+func TestSerialExecTerminateAtDeadline(t *testing.T) {
+	// Global semantics: the overrunning task is cut at the deadline. Put
+	// the jitter strike on the decode phase (Index 2 of 3 phases) so the
+	// slack check passes and the overrun happens mid-execution.
+	tasks := model.TaskTimes{FFT: 100, Demod: 100, Decode: 300}
+	j := makeJob(tasks, 1, 520, 100)
+	j.Index = 2
+	out, proc, at := execJob(t, j, 0, true)
+	if out != OutcomeLate {
+		t.Fatalf("outcome %v", out)
+	}
+	if at != 520 || proc != 520 {
+		t.Fatalf("terminated at %v (proc %v), want deadline 520", at, proc)
+	}
+}
+
+func TestSerialExecExtraDelaysChain(t *testing.T) {
+	tasks := model.TaskTimes{FFT: 100, Demod: 100, Decode: 100}
+	j := makeJob(tasks, 1, 350, 0)
+	// extra = 100 means the fft check happens at t=100 and decode cannot
+	// fit: 100+100+100+100 > 350 → dropped at the decode boundary.
+	out, _, at := execJob(t, j, 100, false)
+	if out != OutcomeDropped {
+		t.Fatalf("outcome %v", out)
+	}
+	if math.Abs(at-300) > 1e-9 {
+		t.Fatalf("dropped at %v, want 300", at)
+	}
+}
+
+func TestSerialExecJitterStrikeRotates(t *testing.T) {
+	// The strike phase is Index mod (2+L): verify different indices place
+	// the same jitter in different phases (observable via drop vs late).
+	tasks := model.TaskTimes{FFT: 100, Demod: 100, Decode: 100}
+	outcomes := map[Outcome]int{}
+	for idx := 0; idx < 3; idx++ {
+		j := makeJob(tasks, 1, 320, 60)
+		j.Index = idx
+		out, _, _ := execJob(t, j, 0, false)
+		outcomes[out]++
+	}
+	// With 300 µs of nominal work and a 60 µs strike against a 320 µs
+	// budget, at least one phase placement must miss and outcomes must
+	// not all be identical misses of the same kind.
+	if outcomes[OutcomeACK] == 3 {
+		t.Fatal("no placement missed")
+	}
+	if len(outcomes) < 2 {
+		t.Fatalf("strike placement had no observable effect: %v", outcomes)
+	}
+}
+
+func TestGlobalQueueingUnderOverload(t *testing.T) {
+	// 4 basestations on 2 cores: heavy queueing; every job must still be
+	// accounted exactly once, mostly as drops.
+	w := testWorkload(t, 1000, 500, 50)
+	m, err := Run(w, NewGlobal(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs() != 4000 {
+		t.Fatalf("jobs %d", m.Jobs())
+	}
+	if m.MissRate() < 0.3 {
+		t.Fatalf("overloaded global missing only %v", m.MissRate())
+	}
+}
+
+func TestGlobalEDFOrder(t *testing.T) {
+	// Two queued jobs: the earlier deadline must dispatch first. Drive the
+	// scheduler directly on a crafted engine.
+	eng := platform.New()
+	m := NewMetrics("global", 1)
+	g := NewGlobal()
+	g.DispatchOverheadUS = 0
+	g.Cache.Enabled = false
+	env := &Env{Eng: eng, M: m, Cores: 1, RNG: stats.NewRNG(1), ExpectedRTT2: 0, SubframesPerBS: 10}
+	g.Attach(env)
+
+	mk := func(idx int, arrival, deadline, work float64) *Job {
+		return &Job{
+			BS: 0, Index: idx, L: 1, Decodable: true,
+			Arrival: arrival, Deadline: deadline,
+			Tasks: model.TaskTimes{FFT: work / 3, Demod: work / 3, Decode: work / 3},
+		}
+	}
+	// Busy job occupies the single core until t = 600.
+	j0 := mk(0, 0, 5000, 600)
+	// j2 arrives before j1 but has a later deadline; j1's deadline (820)
+	// only holds if EDF dispatches it first when the core frees at 600.
+	j2 := mk(2, 10, 4000, 100)
+	j1 := mk(1, 20, 820, 100)
+	eng.At(0, func() { g.OnArrival(j0) })
+	eng.At(10, func() { g.OnArrival(j2) })
+	eng.At(20, func() { g.OnArrival(j1) })
+	eng.Run()
+	g.Finalize()
+	if m.Jobs() != 3 {
+		t.Fatalf("jobs %d", m.Jobs())
+	}
+	if m.Misses() != 0 {
+		t.Fatalf("%d misses — FIFO would have dropped the tight-deadline job", m.Misses())
+	}
+}

@@ -1,0 +1,59 @@
+package sched
+
+import (
+	"fmt"
+
+	"rtopex/internal/lte"
+	"rtopex/internal/model"
+	"rtopex/internal/stats"
+	"rtopex/internal/trace"
+)
+
+// OverrideLoads replaces every job's load-derived fields (MCS, iteration
+// count, task times, subtask decomposition) with values computed from the
+// provided per-basestation traces — the replay path for externally captured
+// traffic. Arrival times and platform jitter are preserved from the
+// original workload; iteration counts and decodability are resampled
+// deterministically from the workload seed.
+func OverrideLoads(w *Workload, traces []trace.Trace) error {
+	if len(traces) != len(w.Jobs) {
+		return fmt.Errorf("sched: %d traces for %d basestations", len(traces), len(w.Jobs))
+	}
+	cfg := w.Cfg
+	for bs := range w.Jobs {
+		if len(traces[bs]) != len(w.Jobs[bs]) {
+			return fmt.Errorf("sched: trace %d has %d subframes, workload has %d",
+				bs, len(traces[bs]), len(w.Jobs[bs]))
+		}
+		rng := stats.NewRNG(cfg.Seed ^ (0x0eed + uint64(bs)*0x9e37))
+		ants := cfg.antennasFor(bs)
+		for j := range w.Jobs[bs] {
+			mcs := trace.MCS(traces[bs][j])
+			info, err := lte.MCSTable(mcs)
+			if err != nil {
+				return err
+			}
+			d, err := lte.SubcarrierLoad(mcs, cfg.Bandwidth)
+			if err != nil {
+				return err
+			}
+			tbs, _, err := lte.TransportBlockSize(mcs, cfg.Bandwidth.PRB)
+			if err != nil {
+				return err
+			}
+			c := codeBlocks(tbs)
+			l := cfg.IterLaw.Sample(rng, mcs, cfg.SNRdB, cfg.Lm)
+			tasks := cfg.Params.Tasks(ants, info.Scheme.Order(), d, l)
+			job := &w.Jobs[bs][j]
+			job.MCS = mcs
+			job.L = l
+			job.Decodable = cfg.IterLaw.Decodable(rng, mcs, cfg.SNRdB, cfg.Lm, l)
+			job.Tasks = tasks
+			job.FFTSubtasks = model.FFTSubtaskCount(ants)
+			job.FFTSubtaskUS = tasks.FFT / float64(model.FFTSubtaskCount(ants))
+			job.DecodeSubtasks = c
+			job.DecodeSubtaskUS = tasks.Decode / float64(c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"testing"
+
+	"rtopex/internal/trace"
+)
+
+func TestOverrideLoadsRewritesJobs(t *testing.T) {
+	w := testWorkload(t, 200, 500, 90)
+	// Force every subframe of BS 0 to full load and BS 1..3 to silence.
+	traces := make([]trace.Trace, 4)
+	for bs := range traces {
+		tr := make(trace.Trace, 200)
+		if bs == 0 {
+			for i := range tr {
+				tr[i] = 1
+			}
+		}
+		traces[bs] = tr
+	}
+	if err := OverrideLoads(w, traces); err != nil {
+		t.Fatal(err)
+	}
+	for j := range w.Jobs[0] {
+		if w.Jobs[0][j].MCS != 27 || w.Jobs[0][j].DecodeSubtasks != 6 {
+			t.Fatalf("BS0 job %d not MCS 27 after override", j)
+		}
+	}
+	for j := range w.Jobs[1] {
+		if w.Jobs[1][j].MCS != 0 || w.Jobs[1][j].DecodeSubtasks != 1 {
+			t.Fatalf("BS1 job %d not MCS 0 after override", j)
+		}
+	}
+	// Arrival times and deadlines must be untouched.
+	if w.Jobs[0][5].Arrival != 5000+500 || w.Jobs[0][5].Deadline != 5000+2000 {
+		t.Fatal("override disturbed timing fields")
+	}
+	// The overridden workload must still simulate cleanly.
+	m, err := Run(w, NewRTOPEX(2), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs() != 800 {
+		t.Fatalf("jobs %d", m.Jobs())
+	}
+}
+
+func TestOverrideLoadsValidation(t *testing.T) {
+	w := testWorkload(t, 50, 500, 91)
+	if err := OverrideLoads(w, make([]trace.Trace, 2)); err == nil {
+		t.Fatal("wrong trace count accepted")
+	}
+	bad := make([]trace.Trace, 4)
+	for i := range bad {
+		bad[i] = make(trace.Trace, 49) // wrong length
+	}
+	if err := OverrideLoads(w, bad); err == nil {
+		t.Fatal("wrong trace length accepted")
+	}
+}
+
+func TestOverrideLoadsDeterministic(t *testing.T) {
+	mk := func() *Workload {
+		w := testWorkload(t, 100, 500, 92)
+		traces := make([]trace.Trace, 4)
+		for bs := range traces {
+			traces[bs] = trace.NewGenerator(trace.DefaultProfiles[bs], 77).Generate(100)
+		}
+		if err := OverrideLoads(w, traces); err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	a, b := mk(), mk()
+	for bs := range a.Jobs {
+		for j := range a.Jobs[bs] {
+			if a.Jobs[bs][j] != b.Jobs[bs][j] {
+				t.Fatal("override not deterministic")
+			}
+		}
+	}
+}

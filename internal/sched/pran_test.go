@@ -1,0 +1,181 @@
+package sched
+
+import "testing"
+
+func TestPRANBasics(t *testing.T) {
+	w := testWorkload(t, 3000, 550, 60)
+	m, err := Run(w, NewPRAN(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs() != 12000 {
+		t.Fatalf("jobs %d", m.Jobs())
+	}
+	if m.Scheduler != "pran" {
+		t.Fatalf("name %q", m.Scheduler)
+	}
+}
+
+func TestPRANBeatsPartitionedButLosesToRTOPEX(t *testing.T) {
+	// PRAN's planned parallelism beats serial partitioned processing, but
+	// its inability to adapt to iteration-count surprises keeps it behind
+	// RT-OPEX — the Table 2 story, quantified.
+	var pran, part, rt float64
+	for seed := uint64(61); seed < 64; seed++ {
+		w := testWorkload(t, 8000, 675, seed)
+		a, _ := Run(w, NewPRAN(), 8)
+		b, _ := Run(w, NewPartitioned(2), 8)
+		c, _ := Run(w, NewRTOPEX(2), 8)
+		pran += a.MissRate()
+		part += b.MissRate()
+		rt += c.MissRate()
+	}
+	if pran >= part {
+		t.Fatalf("PRAN (%v) not below partitioned (%v)", pran/3, part/3)
+	}
+	if rt >= pran {
+		t.Fatalf("RT-OPEX (%v) not below PRAN (%v)", rt/3, pran/3)
+	}
+}
+
+func TestPRANMispredictionHurts(t *testing.T) {
+	// Planning at L=1 under-provisions every multi-iteration subframe;
+	// planning at Lm over-claims cores and queues. The default (2) must
+	// beat the L=1 planner.
+	w := testWorkload(t, 8000, 675, 65)
+	def, _ := Run(w, NewPRAN(), 8)
+	optimist := NewPRAN()
+	optimist.PredictL = 1
+	opt, _ := Run(w, optimist, 8)
+	if opt.Misses() <= def.Misses() {
+		t.Fatalf("optimistic planner (%d misses) not worse than default (%d)",
+			opt.Misses(), def.Misses())
+	}
+}
+
+func TestPRANQueuesUnderPressure(t *testing.T) {
+	w := testWorkload(t, 1000, 500, 66)
+	m, err := Run(w, NewPRAN(), 2) // heavy contention
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs() != 4000 {
+		t.Fatalf("jobs %d", m.Jobs())
+	}
+	if m.MissRate() < 0.2 {
+		t.Fatalf("under-provisioned PRAN missing only %v", m.MissRate())
+	}
+}
+
+func TestSemiPartitionedBasics(t *testing.T) {
+	w := testWorkload(t, 3000, 550, 70)
+	m, err := Run(w, NewSemiPartitioned(2), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs() != 12000 {
+		t.Fatalf("jobs %d", m.Jobs())
+	}
+}
+
+func TestTaskLevelMigrationIsUselessWhenProvisioned(t *testing.T) {
+	// The paper's design argument, quantified: under ⌈Tmax⌉-per-BS
+	// provisioning the binding constraint is each job's own deadline, so
+	// whole-job migration (semi-partitioned) gains exactly nothing over
+	// plain partitioned — only subtask migration (RT-OPEX) shortens the
+	// critical path.
+	for seed := uint64(71); seed < 74; seed++ {
+		w := testWorkload(t, 8000, 650, seed)
+		a, _ := Run(w, NewPartitioned(2), 8)
+		b, _ := Run(w, NewSemiPartitioned(2), 8)
+		c, _ := Run(w, NewRTOPEX(2), 8)
+		if b.Misses() != a.Misses() {
+			t.Fatalf("seed %d: semi-partitioned %d misses vs partitioned %d — expected identical",
+				seed, b.Misses(), a.Misses())
+		}
+		if c.Misses() >= b.Misses() {
+			t.Fatalf("seed %d: RT-OPEX (%d) not below semi-partitioned (%d)",
+				seed, c.Misses(), b.Misses())
+		}
+	}
+}
+
+func TestTaskLevelMigrationHelpsWhenUnderProvisioned(t *testing.T) {
+	// With one core per basestation (half the required ⌈Tmax⌉=2), jobs
+	// collide on their home cores; pushing whole jobs to the spare cores
+	// is exactly the semi-partitioned use case.
+	w := testWorkload(t, 8000, 550, 76)
+	p, _ := Run(w, NewPartitioned(1), 8)     // uses only cores 0..3
+	s, _ := Run(w, NewSemiPartitioned(1), 8) // can push onto cores 4..7
+	if s.Misses() >= p.Misses() {
+		t.Fatalf("semi-partitioned (%d) not below under-provisioned partitioned (%d)",
+			s.Misses(), p.Misses())
+	}
+}
+
+func TestSemiPartitionedInsufficientCores(t *testing.T) {
+	w := testWorkload(t, 500, 500, 75)
+	m, err := Run(w, NewSemiPartitioned(2), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs() != 2000 {
+		t.Fatalf("jobs %d", m.Jobs())
+	}
+}
+
+func TestDownlinkJobsCompeteForCores(t *testing.T) {
+	base := testWorkload(t, 1, 550, 80).Cfg
+	base.Subframes = 6000
+	base.IncludeDownlink = true
+	w, err := BuildWorkload(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per BS: 6000 rx + 5999 tx jobs.
+	if len(w.Jobs[0]) != 6000+5999 {
+		t.Fatalf("jobs per BS = %d", len(w.Jobs[0]))
+	}
+	for _, s := range []Scheduler{NewPartitioned(2), NewRTOPEX(2), NewGlobal()} {
+		m, err := Run(w, s, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Jobs() != 24000 {
+			t.Fatalf("%s: rx jobs %d, want 24000", m.Scheduler, m.Jobs())
+		}
+		if m.TxJobs != 4*5999 {
+			t.Fatalf("%s: tx jobs %d, want %d", m.Scheduler, m.TxJobs, 4*5999)
+		}
+	}
+}
+
+func TestDownlinkLoadRaisesUplinkMisses(t *testing.T) {
+	base := testWorkload(t, 1, 600, 81).Cfg
+	base.Subframes = 8000
+	uplinkOnly, _ := BuildWorkload(base)
+	base.IncludeDownlink = true
+	duplex, _ := BuildWorkload(base)
+
+	for _, mk := range []func() Scheduler{
+		func() Scheduler { return NewPartitioned(2) },
+		func() Scheduler { return NewRTOPEX(2) },
+	} {
+		a, _ := Run(uplinkOnly, mk(), 8)
+		b, _ := Run(duplex, mk(), 8)
+		if b.MissRate() < a.MissRate() {
+			t.Fatalf("%s: downlink load reduced uplink misses (%v -> %v)",
+				a.Scheduler, a.MissRate(), b.MissRate())
+		}
+	}
+	// RT-OPEX must still beat partitioned under duplex load.
+	p, _ := Run(duplex, NewPartitioned(2), 8)
+	r, _ := Run(duplex, NewRTOPEX(2), 8)
+	if r.MissRate() >= p.MissRate() {
+		t.Fatalf("RT-OPEX (%v) not below partitioned (%v) under duplex load",
+			r.MissRate(), p.MissRate())
+	}
+	if r.TxJobs == 0 || p.TxJobs == 0 {
+		t.Fatal("tx jobs not accounted")
+	}
+}

@@ -1,0 +1,445 @@
+package sched
+
+import "math"
+
+// RTOPEX is the paper's contribution (§3.2): a partitioned schedule
+// underneath, plus opportunistic migration of parallelizable subtasks (FFT
+// and turbo decode) into the idle gaps of other cores at runtime.
+//
+// A processing thread reaching a parallelizable task queries the shared CPU
+// state, predicts each idle core's free window fck from the deterministic
+// subframe arrival pattern, and applies Algorithm 1 to choose how many
+// subtasks to offload. Migrated batches execute on the host core until they
+// finish or the host's own subframe arrives (preemption). When the local
+// thread finishes its share, it consumes ready results; results that are
+// not ready are either awaited (when that is provably cheaper) or
+// recomputed locally — the recovery path that makes RT-OPEX never worse
+// than the serial baseline.
+type RTOPEX struct {
+	// CoresPerBS is the underlying partitioned schedule's ⌈Tmax⌉.
+	CoresPerBS int
+	// DeltaUS is the migration overhead δ (§4.4 measures ≈18–20 µs per
+	// migrated task). By default it is charged once per migrated batch,
+	// matching the measurement ("the cost of migration is fixed across the
+	// subtasks" — one OAI context fetch per migration); set PerSubtaskDelta
+	// for Algorithm 1's literal ⌊fck/(tp+δ)⌋ accounting.
+	DeltaUS         float64
+	PerSubtaskDelta bool
+	// MigrateFFT / MigrateDecode enable migration per task type.
+	MigrateFFT    bool
+	MigrateDecode bool
+	// GreedyAll is an ablation that drops requirements R2/R3 and offloads
+	// as much as the free windows allow.
+	GreedyAll bool
+	// NoWait is an ablation forcing the paper-literal recovery: the local
+	// thread never waits for an unfinished batch, always recomputing,
+	// even when the batch is within microseconds of completion.
+	NoWait bool
+
+	env   *Env
+	cores []*rcore
+}
+
+type rcore struct {
+	id   int
+	bs   int // owning basestation under the partitioned schedule
+	slot int // subframe phase: handles indices ≡ slot (mod CoresPerBS)
+
+	running  bool
+	batch    *migBatch // non-nil while hosting a migrated batch
+	pending  []*Job
+	lastFree float64
+	everUsed bool
+}
+
+// migBatch is a set of subtasks executing on a host core on behalf of a
+// job running elsewhere.
+type migBatch struct {
+	host        *rcore
+	count       int
+	tp          float64
+	start       float64
+	preemptedAt float64 // < 0 when not preempted
+	released    bool    // owner consumed or abandoned the batch
+}
+
+// debugLate, when set, observes late decode completions (test hook).
+var debugLate func(j *Job, decodeStart, localTime, finish float64)
+
+// DebugLate installs a test/diagnostic hook observing late decode
+// completions under RT-OPEX.
+func DebugLate(fn func(j *Job, decodeStart, localTime, finish float64)) { debugLate = fn }
+
+// NewRTOPEX creates an RT-OPEX scheduler with the paper's defaults.
+func NewRTOPEX(coresPerBS int) *RTOPEX {
+	if coresPerBS < 1 {
+		coresPerBS = 1
+	}
+	return &RTOPEX{
+		CoresPerBS:    coresPerBS,
+		DeltaUS:       20,
+		MigrateFFT:    true,
+		MigrateDecode: true,
+	}
+}
+
+// Name implements Scheduler.
+func (r *RTOPEX) Name() string { return "rt-opex" }
+
+// Attach implements Scheduler.
+func (r *RTOPEX) Attach(env *Env) {
+	r.env = env
+	r.cores = make([]*rcore, env.Cores)
+	for i := range r.cores {
+		r.cores[i] = &rcore{id: i, bs: i / r.CoresPerBS, slot: i % r.CoresPerBS}
+	}
+}
+
+// OnArrival implements Scheduler.
+func (r *RTOPEX) OnArrival(j *Job) {
+	idx := j.BS*r.CoresPerBS + j.Index%r.CoresPerBS
+	if idx >= len(r.cores) {
+		r.env.M.Record(j, OutcomeDropped, -1)
+		return
+	}
+	c := r.cores[idx]
+	if c.running {
+		c.pending = append(c.pending, j)
+		return
+	}
+	if c.batch != nil && c.batch.preemptedAt < 0 {
+		// The host's own subframe preempts the migrated batch (state 2 →
+		// state 3 in Fig. 12).
+		c.batch.preemptedAt = r.env.Eng.Now()
+		r.env.M.Preemptions++
+		c.batch = nil
+	}
+	r.startJob(c, j)
+}
+
+func (r *RTOPEX) startJob(c *rcore, j *Job) {
+	c.running = true
+	c.everUsed = true
+	now := r.env.Eng.Now()
+
+	// Jitter strike phase: same per-job placement rule as serialExec so
+	// workloads are comparable across schedulers.
+	strike := j.Index % (2 + j.L)
+
+	r.phaseFFT(c, j, now, now, strike)
+}
+
+// phaseFFT runs the FFT task, migrating subtasks if enabled.
+func (r *RTOPEX) phaseFFT(c *rcore, j *Job, start, now float64, strike int) {
+	r.env.M.FFTSubtasksTotal += j.FFTSubtasks
+	local, batches := r.planTask(c, j, now, j.FFTSubtasks, j.FFTSubtaskUS, r.MigrateFFT, false)
+	localTime := float64(local) * j.FFTSubtaskUS
+	if now+localTime > j.Deadline {
+		r.abandon(batches, now)
+		r.finishJob(c, j, OutcomeDropped, -1, now)
+		return
+	}
+	r.env.M.FFTSubtasksMigrated += migratedCount(batches)
+	if strike == 0 {
+		localTime = math.Max(0, localTime+j.JitterUS)
+	}
+	r.env.Eng.At(now+localTime, func() {
+		joinAt := r.join(now+localTime, j.FFTSubtaskUS, batches)
+		r.env.Eng.At(joinAt, func() { r.phaseDemod(c, j, start, joinAt, strike) })
+	})
+}
+
+// phaseDemod runs the (serial) demod task.
+func (r *RTOPEX) phaseDemod(c *rcore, j *Job, start, now float64, strike int) {
+	if now+j.Tasks.Demod > j.Deadline {
+		r.finishJob(c, j, OutcomeDropped, -1, now)
+		return
+	}
+	actual := j.Tasks.Demod
+	if strike == 1 {
+		actual = math.Max(0, actual+j.JitterUS)
+	}
+	r.env.Eng.At(now+actual, func() { r.phaseDecode(c, j, start, now+actual, strike) })
+}
+
+// phaseDecode runs the decode task, migrating code blocks if enabled.
+func (r *RTOPEX) phaseDecode(c *rcore, j *Job, start, now float64, strike int) {
+	r.env.M.DecodeSubtasksTotal += j.DecodeSubtasks
+	local, batches := r.planTask(c, j, now, j.DecodeSubtasks, j.DecodeSubtaskUS, r.MigrateDecode, true)
+	localTime := float64(local) * j.DecodeSubtaskUS
+	if now+localTime > j.Deadline {
+		r.abandon(batches, now)
+		r.finishJob(c, j, OutcomeDropped, -1, now)
+		return
+	}
+	r.env.M.DecodeSubtasksMigrated += migratedCount(batches)
+	if strike >= 2 {
+		localTime = math.Max(0, localTime+j.JitterUS)
+	}
+	r.env.Eng.At(now+localTime, func() {
+		finish := r.join(now+localTime, j.DecodeSubtaskUS, batches)
+		r.env.Eng.At(finish, func() {
+			out := OutcomeACK
+			switch {
+			case finish > j.Deadline:
+				out = OutcomeLate
+				if debugLate != nil {
+					debugLate(j, now, localTime, finish)
+				}
+			case !j.Decodable:
+				out = OutcomeDecodeFail
+			}
+			r.finishJob(c, j, out, finish-start, finish)
+		})
+	})
+}
+
+func (r *RTOPEX) finishJob(c *rcore, j *Job, out Outcome, proc float64, at float64) {
+	r.env.M.Record(j, out, proc)
+	c.running = false
+	c.lastFree = at
+	if len(c.pending) > 0 {
+		next := c.pending[0]
+		c.pending = c.pending[1:]
+		r.startJob(c, next)
+	}
+}
+
+// planTask applies Algorithm 1 across currently idle cores and installs the
+// migrated batches. It returns the number of subtasks kept local.
+func (r *RTOPEX) planTask(c *rcore, j *Job, now float64, subtasks int, tp float64, enabled bool, decode bool) (int, []*migBatch) {
+	if !enabled || subtasks <= 1 || tp <= 0 {
+		return subtasks, nil
+	}
+	var hosts []*rcore
+	var free []float64
+	for _, k := range r.cores {
+		if k == c || k.running || k.batch != nil {
+			continue
+		}
+		// The usable window is bounded both by the host's next own
+		// subframe and by the migrating job's deadline: a batch completing
+		// past the deadline cannot save the subframe.
+		fck := math.Min(r.predictedNextPreemption(k, now), j.Deadline) - now
+		if fck <= 0 {
+			continue
+		}
+		hosts = append(hosts, k)
+		free = append(free, fck)
+	}
+	if len(hosts) == 0 {
+		return subtasks, nil
+	}
+	counts := Algorithm1(subtasks, tp, r.DeltaUS, r.PerSubtaskDelta, r.GreedyAll, free)
+	local := subtasks
+	var batches []*migBatch
+	for i, n := range counts {
+		if n <= 0 {
+			continue
+		}
+		b := &migBatch{host: hosts[i], count: n, tp: tp, start: now, preemptedAt: -1}
+		hosts[i].batch = b
+		local -= n
+		batches = append(batches, b)
+		r.env.M.MigrationBatches++
+		if decode {
+			r.env.M.DecodeBatches++
+		} else {
+			r.env.M.FFTBatches++
+		}
+		// Natural completion releases the host (state 2 → state 1).
+		end := r.batchEnd(b)
+		r.env.Eng.At(end, func() {
+			if b.host.batch == b && b.preemptedAt < 0 {
+				b.host.batch = nil
+				b.host.lastFree = r.env.Eng.Now()
+			}
+		})
+	}
+	return local, batches
+}
+
+// batchEnd is the natural completion time of a batch on its host.
+func (r *RTOPEX) batchEnd(b *migBatch) float64 {
+	if r.PerSubtaskDelta {
+		return b.start + float64(b.count)*(b.tp+r.DeltaUS)
+	}
+	return b.start + r.DeltaUS + float64(b.count)*b.tp
+}
+
+// completedBy returns how many of the batch's subtasks finished by time t.
+func (r *RTOPEX) completedBy(b *migBatch, t float64) int {
+	var done float64
+	if r.PerSubtaskDelta {
+		done = (t - b.start) / (b.tp + r.DeltaUS)
+	} else {
+		done = (t - b.start - r.DeltaUS) / b.tp
+	}
+	n := int(math.Floor(done))
+	if n < 0 {
+		n = 0
+	}
+	if n > b.count {
+		n = b.count
+	}
+	return n
+}
+
+// join resolves all migrated batches when the local share completes at
+// localFinish: ready results are consumed; preempted or slow batches are
+// recovered by local recomputation (or awaited when provably cheaper and
+// NoWait is unset). It returns the task completion time.
+func (r *RTOPEX) join(localFinish, tp float64, batches []*migBatch) float64 {
+	finish := localFinish
+	var recovery float64
+	for _, b := range batches {
+		b.released = true
+		switch {
+		case b.preemptedAt >= 0:
+			// Result not ready: host was preempted (state 6 recovery).
+			unfinished := b.count - r.completedBy(b, b.preemptedAt)
+			if unfinished > 0 {
+				recovery += float64(unfinished) * tp
+				r.env.M.Recoveries++
+			}
+		default:
+			end := r.batchEnd(b)
+			if end <= localFinish {
+				break // result ready
+			}
+			// Batch still running: recompute or wait, whichever is
+			// cheaper (recompute-only when NoWait).
+			unfinished := b.count - r.completedBy(b, localFinish)
+			recompute := float64(unfinished) * tp
+			wait := end - localFinish
+			if r.NoWait || recompute < wait {
+				recovery += recompute
+				r.env.M.Recoveries++
+				// Host abandons the rest of the batch immediately.
+				if b.host.batch == b {
+					b.host.batch = nil
+					b.host.lastFree = localFinish
+				}
+			} else if end > finish {
+				finish = end
+			}
+		}
+	}
+	return finish + recovery
+}
+
+// abandon cancels planned batches when the owner drops the job.
+func (r *RTOPEX) abandon(batches []*migBatch, now float64) {
+	for _, b := range batches {
+		b.released = true
+		if b.host.batch == b && b.preemptedAt < 0 {
+			b.host.batch = nil
+			b.host.lastFree = now
+		}
+	}
+}
+
+// predictedNextPreemption estimates when core k must next be surrendered to
+// its own subframe: the scheduler knows the deterministic 1 ms frame clock
+// (the watchdog's global reference time) and the expected transport
+// latency, so the next preemption is the earliest expected arrival
+// gen + E[RTT/2] after now. This correctly accounts for in-flight
+// subframes — ones already generated but still crossing the transport —
+// which would otherwise preempt a freshly placed batch almost immediately.
+// Past the end of the trace it returns +Inf.
+func (r *RTOPEX) predictedNextPreemption(k *rcore, now float64) float64 {
+	c := float64(r.CoresPerBS)
+	// Expected arrivals for this core: (slot + m·c)·1000 + E[RTT/2].
+	first := float64(k.slot)*1000 + r.env.ExpectedRTT2
+	t := first
+	if now >= first {
+		m := math.Ceil((now - first) / (1000 * c))
+		t = first + m*1000*c
+		if t <= now {
+			t += 1000 * c
+		}
+	}
+	// Index bound: no arrivals after the last subframe.
+	idx := k.slot + int((t-first)/1000+0.5)
+	if idx >= r.env.SubframesPerBS {
+		return math.Inf(1)
+	}
+	return t
+}
+
+func migratedCount(batches []*migBatch) int {
+	n := 0
+	for _, b := range batches {
+		n += b.count
+	}
+	return n
+}
+
+// Finalize implements Scheduler.
+func (r *RTOPEX) Finalize() {}
+
+// Algorithm1 is the migration allocation of the paper's Alg. 1: given P
+// subtasks of duration tp, the migration overhead δ, and the free time
+// windows of candidate idle cores, it returns how many subtasks to offload
+// to each core. The three requirements:
+//
+//	R1: noff ≤ limoff — the batch must fit the core's free window;
+//	R2: S − noff ≥ maxoff — keep at least as many local subtasks as the
+//	    largest batch already offloaded, so the local thread finishes last;
+//	R3: noff ≤ ⌊S/2⌋ — never offload more than remain.
+//
+// greedy drops R2/R3 (ablation). perSubtaskDelta charges δ per subtask in
+// limoff (the listing's ⌊fck/(tp+δ)⌋); otherwise δ is charged once per
+// batch.
+func Algorithm1(p int, tp, delta float64, perSubtaskDelta, greedy bool, free []float64) []int {
+	counts := make([]int, len(free))
+	if p <= 1 || tp <= 0 {
+		return counts
+	}
+	s := p
+	maxoff := 0
+	for k := range free {
+		if s <= 1 {
+			break
+		}
+		var limoff int
+		if perSubtaskDelta {
+			limoff = int(math.Floor(free[k] / (tp + delta)))
+		} else {
+			if free[k] <= delta {
+				continue
+			}
+			limoff = int(math.Floor((free[k] - delta) / tp))
+		}
+		noff := limoff
+		if !greedy {
+			noff = min3(s-maxoff, limoff, s/2)
+		} else if noff > s-1 {
+			noff = s - 1
+		}
+		if noff <= 0 {
+			continue
+		}
+		if noff > maxoff {
+			maxoff = noff
+		}
+		counts[k] = noff
+		s -= noff
+	}
+	return counts
+}
+
+func min3(a, b, c int) int {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}
+
+var _ Scheduler = (*RTOPEX)(nil)
+var _ Scheduler = (*Partitioned)(nil)
+var _ Scheduler = (*Global)(nil)

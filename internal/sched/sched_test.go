@@ -1,0 +1,443 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"rtopex/internal/lte"
+	"rtopex/internal/model"
+	"rtopex/internal/trace"
+	"rtopex/internal/transport"
+	"rtopex/internal/turbo"
+)
+
+// testWorkload builds the paper's evaluation setup: 4 BSs, 2 antennas,
+// 10 MHz, 30 dB SNR, Lm=4, fixed transport delay.
+func testWorkload(t *testing.T, subframes int, rtt2 float64, seed uint64) *Workload {
+	t.Helper()
+	w, err := BuildWorkload(WorkloadConfig{
+		Basestations:   4,
+		Subframes:      subframes,
+		Antennas:       2,
+		Bandwidth:      lte.BW10MHz,
+		SNRdB:          30,
+		Lm:             4,
+		Params:         model.PaperGPP,
+		Jitter:         model.DefaultJitter,
+		IterLaw:        model.DefaultIterationLaw,
+		Profiles:       trace.DefaultProfiles,
+		FixedMCS:       -1,
+		Transport:      transport.FixedPath{OneWay: rtt2},
+		ExpectedRTT2US: rtt2,
+		Seed:           seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWorkloadShape(t *testing.T) {
+	w := testWorkload(t, 100, 500, 1)
+	if len(w.Jobs) != 4 {
+		t.Fatalf("%d basestations", len(w.Jobs))
+	}
+	for bs, jobs := range w.Jobs {
+		if len(jobs) != 100 {
+			t.Fatalf("BS %d has %d jobs", bs, len(jobs))
+		}
+		for i, j := range jobs {
+			if j.Gen != float64(i)*1000 {
+				t.Fatalf("gen time wrong at %d", i)
+			}
+			if j.Arrival != j.Gen+500 {
+				t.Fatalf("arrival wrong at %d", i)
+			}
+			if j.Deadline != j.Gen+2000 {
+				t.Fatalf("deadline wrong at %d", i)
+			}
+			if j.Tmax() != 1500 {
+				t.Fatalf("Tmax = %v", j.Tmax())
+			}
+			if j.MCS < 0 || j.MCS > 27 || j.L < 1 || j.L > 4 {
+				t.Fatalf("invalid MCS/L %d/%d", j.MCS, j.L)
+			}
+			if j.FFTSubtasks != 28 {
+				t.Fatalf("FFT subtasks %d", j.FFTSubtasks)
+			}
+			if j.DecodeSubtasks < 1 || j.DecodeSubtasks > 6 {
+				t.Fatalf("decode subtasks %d", j.DecodeSubtasks)
+			}
+			if math.Abs(j.Tasks.Total()-model.PaperGPP.Predict(2, mcsOrder(j.MCS), loadOf(j.MCS), j.L)) > 1e-9 {
+				t.Fatal("task times inconsistent with model")
+			}
+		}
+	}
+}
+
+func mcsOrder(mcs int) int {
+	info, _ := lte.MCSTable(mcs)
+	return info.Scheme.Order()
+}
+
+func loadOf(mcs int) float64 {
+	d, _ := lte.SubcarrierLoad(mcs, lte.BW10MHz)
+	return d
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	bad := []WorkloadConfig{
+		{},
+		{Basestations: 1, Subframes: 1, Antennas: 0, Lm: 4, Transport: transport.FixedPath{}},
+		{Basestations: 1, Subframes: 1, Antennas: 1, Lm: 0, Transport: transport.FixedPath{}},
+		{Basestations: 1, Subframes: 1, Antennas: 1, Lm: 4},
+		{Basestations: 5, Subframes: 1, Antennas: 1, Lm: 4, Transport: transport.FixedPath{}, FixedMCS: -1, Profiles: trace.DefaultProfiles},
+		{Basestations: 1, Subframes: 1, Antennas: 1, Lm: 4, Transport: transport.FixedPath{}, FixedMCS: 99},
+	}
+	for i, cfg := range bad {
+		if _, err := BuildWorkload(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestWorkloadFixedMCS(t *testing.T) {
+	w, err := BuildWorkload(WorkloadConfig{
+		Basestations: 2, Subframes: 50, Antennas: 2, Bandwidth: lte.BW10MHz,
+		SNRdB: 30, Lm: 4, Params: model.PaperGPP, IterLaw: model.DefaultIterationLaw,
+		FixedMCS: 27, Transport: transport.FixedPath{OneWay: 400}, ExpectedRTT2US: 400, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range w.Jobs {
+		for _, j := range jobs {
+			if j.MCS != 27 || j.DecodeSubtasks != 6 {
+				t.Fatalf("fixed MCS job %+v", j)
+			}
+		}
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	a := testWorkload(t, 200, 500, 42)
+	b := testWorkload(t, 200, 500, 42)
+	for bs := range a.Jobs {
+		for i := range a.Jobs[bs] {
+			if a.Jobs[bs][i] != b.Jobs[bs][i] {
+				t.Fatal("workloads with same seed differ")
+			}
+		}
+	}
+}
+
+func runAll(t *testing.T, w *Workload) (part, glob, rtopex *Metrics) {
+	t.Helper()
+	var err error
+	part, err = Run(w, NewPartitioned(2), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	glob, err = Run(w, NewGlobal(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtopex, err = Run(w, NewRTOPEX(2), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return part, glob, rtopex
+}
+
+func TestAllJobsAccounted(t *testing.T) {
+	w := testWorkload(t, 2000, 500, 3)
+	part, glob, rtopex := runAll(t, w)
+	want := 4 * 2000
+	for _, m := range []*Metrics{part, glob, rtopex} {
+		if m.Jobs() != want {
+			t.Fatalf("%s accounted %d jobs, want %d", m.Scheduler, m.Jobs(), want)
+		}
+	}
+}
+
+func TestSimulationDeterminism(t *testing.T) {
+	w := testWorkload(t, 1000, 500, 4)
+	a, _ := Run(w, NewRTOPEX(2), 8)
+	b, _ := Run(w, NewRTOPEX(2), 8)
+	if a.MissRate() != b.MissRate() || a.FFTSubtasksMigrated != b.FFTSubtasksMigrated ||
+		a.Preemptions != b.Preemptions {
+		t.Fatal("RT-OPEX simulation not deterministic")
+	}
+	ga, _ := Run(w, NewGlobal(), 8)
+	gb, _ := Run(w, NewGlobal(), 8)
+	if ga.MissRate() != gb.MissRate() {
+		t.Fatal("global simulation not deterministic")
+	}
+}
+
+func TestPartitionedNeverQueues(t *testing.T) {
+	// With ⌈Tmax⌉=2 cores per BS, each subframe has its core to itself:
+	// no pending overflow should ever accumulate beyond the rare overrun.
+	w := testWorkload(t, 5000, 500, 5)
+	m, _ := Run(w, NewPartitioned(2), 8)
+	if m.Jobs() != 20000 {
+		t.Fatalf("jobs %d", m.Jobs())
+	}
+	// Gaps must be plentiful: about one per job minus the first per core.
+	if len(m.Gaps) < 19000 {
+		t.Fatalf("only %d gaps recorded", len(m.Gaps))
+	}
+}
+
+func TestPartitionedGapsMatchFig16(t *testing.T) {
+	// Fig. 16: at RTT/2 = 500 µs, >60% of gaps exceed 500 µs.
+	w := testWorkload(t, 10000, 500, 6)
+	m, _ := Run(w, NewPartitioned(2), 8)
+	if f := m.GapFractionAbove(500); f < 0.5 {
+		t.Fatalf("gap fraction above 500 µs = %v, want > 0.5", f)
+	}
+	// And gaps shrink as RTT grows.
+	w7 := testWorkload(t, 10000, 700, 6)
+	m7, _ := Run(w7, NewPartitioned(2), 8)
+	if m7.GapFractionAbove(500) >= m.GapFractionAbove(500) {
+		t.Fatal("gaps did not shrink with larger RTT")
+	}
+}
+
+func TestMissRateIncreasesWithRTT(t *testing.T) {
+	for _, mk := range []func() Scheduler{
+		func() Scheduler { return NewPartitioned(2) },
+		func() Scheduler { return NewGlobal() },
+		func() Scheduler { return NewRTOPEX(2) },
+	} {
+		w4 := testWorkload(t, 5000, 400, 7)
+		w7 := testWorkload(t, 5000, 700, 7)
+		m4, _ := Run(w4, mk(), 8)
+		m7, _ := Run(w7, mk(), 8)
+		if m7.MissRate() < m4.MissRate() {
+			t.Fatalf("%s: miss rate fell with RTT (%v -> %v)", m4.Scheduler, m4.MissRate(), m7.MissRate())
+		}
+	}
+}
+
+func TestRTOPEXBeatsPartitioned(t *testing.T) {
+	// The headline claim: RT-OPEX reduces misses by an order of magnitude.
+	for _, rtt2 := range []float64{500, 600, 700} {
+		w := testWorkload(t, 10000, rtt2, 8)
+		p, _ := Run(w, NewPartitioned(2), 8)
+		r, _ := Run(w, NewRTOPEX(2), 8)
+		if p.MissRate() == 0 {
+			continue
+		}
+		if r.MissRate() > p.MissRate()/2 {
+			t.Fatalf("RTT/2=%v: RT-OPEX %v not well below partitioned %v",
+				rtt2, r.MissRate(), p.MissRate())
+		}
+	}
+}
+
+func TestRTOPEXNearZeroAtLowRTT(t *testing.T) {
+	// Fig. 15: virtually zero misses below RTT/2 = 500 µs.
+	w := testWorkload(t, 10000, 400, 9)
+	r, _ := Run(w, NewRTOPEX(2), 8)
+	if r.MissRate() > 5e-4 {
+		t.Fatalf("RT-OPEX miss rate %v at RTT/2=400, want ~0", r.MissRate())
+	}
+}
+
+func TestRTOPEXMigratesBothTaskTypes(t *testing.T) {
+	w := testWorkload(t, 5000, 500, 10)
+	r, _ := Run(w, NewRTOPEX(2), 8)
+	if r.FFTSubtasksMigrated == 0 {
+		t.Fatal("no FFT subtasks migrated")
+	}
+	if r.DecodeSubtasksMigrated == 0 {
+		t.Fatal("no decode subtasks migrated")
+	}
+	if r.MigrationBatches == 0 {
+		t.Fatal("no migration batches")
+	}
+	// Fig. 16 right: roughly 20% of decode subtasks migrate at 500 µs —
+	// accept a broad band around it.
+	f := r.MigratedDecodeFraction()
+	if f < 0.05 || f > 0.8 {
+		t.Fatalf("decode migration fraction %v implausible", f)
+	}
+}
+
+func TestRTOPEXMigrationShrinksWithRTT(t *testing.T) {
+	// Fig. 16: narrower gaps at higher RTT leave less room for the large
+	// decode subtasks, so each migration opportunity carries fewer of them
+	// (the total count may rise as Algorithm 1 spreads small batches over
+	// more cores — the per-batch depth is what the gaps bound).
+	w5 := testWorkload(t, 5000, 450, 11)
+	w7 := testWorkload(t, 5000, 700, 11)
+	r5, _ := Run(w5, NewRTOPEX(2), 8)
+	r7, _ := Run(w7, NewRTOPEX(2), 8)
+	// The effect is weak in simulation (only the largest code-block
+	// subtasks hit the deadline-capped windows), so assert the direction,
+	// not a magnitude.
+	if r7.MeanDecodeBatchSize() > r5.MeanDecodeBatchSize() {
+		t.Fatalf("decode batch depth grew with RTT: %v -> %v",
+			r5.MeanDecodeBatchSize(), r7.MeanDecodeBatchSize())
+	}
+	// FFT subtasks are small enough to keep migrating at high RTT.
+	if r7.MigratedFFTFraction() < 0.8*r5.MigratedFFTFraction() {
+		t.Fatalf("FFT migration collapsed at high RTT: %v -> %v",
+			r5.MigratedFFTFraction(), r7.MigratedFFTFraction())
+	}
+}
+
+func TestRTOPEXNoWorseThanPartitionedPerSeed(t *testing.T) {
+	// The design requirement: on the same sample path, RT-OPEX must not
+	// miss more than partitioned.
+	for seed := uint64(20); seed < 30; seed++ {
+		w := testWorkload(t, 3000, 600, seed)
+		p, _ := Run(w, NewPartitioned(2), 8)
+		r, _ := Run(w, NewRTOPEX(2), 8)
+		if r.Misses() > p.Misses() {
+			t.Fatalf("seed %d: RT-OPEX missed %d > partitioned %d", seed, r.Misses(), p.Misses())
+		}
+	}
+}
+
+func TestGlobalWorseOrEqualToPartitioned(t *testing.T) {
+	// Fig. 15's surprise: global performs slightly worse than partitioned.
+	var gm, pm float64
+	for seed := uint64(40); seed < 44; seed++ {
+		w := testWorkload(t, 10000, 550, seed)
+		p, _ := Run(w, NewPartitioned(2), 8)
+		g, _ := Run(w, NewGlobal(), 8)
+		pm += p.MissRate()
+		gm += g.MissRate()
+	}
+	if gm < pm {
+		t.Fatalf("global (%v) outperformed partitioned (%v) on average", gm/4, pm/4)
+	}
+}
+
+func TestGlobalDoesNotImproveWithMoreCores(t *testing.T) {
+	// Fig. 19: doubling cores from 8 to 16 does not help.
+	var m8, m16 float64
+	for seed := uint64(50); seed < 54; seed++ {
+		w := testWorkload(t, 10000, 550, seed)
+		g8, _ := Run(w, NewGlobal(), 8)
+		g16, _ := Run(w, NewGlobal(), 16)
+		m8 += g8.MissRate()
+		m16 += g16.MissRate()
+	}
+	if m16 < m8*0.8 {
+		t.Fatalf("global-16 (%v) substantially better than global-8 (%v)", m16/4, m8/4)
+	}
+}
+
+func TestGlobalCacheModelMatters(t *testing.T) {
+	// Ablation: disabling the cache model must reduce processing times.
+	w := testWorkload(t, 5000, 550, 60)
+	withCache, _ := Run(w, NewGlobal(), 8)
+	noCache := NewGlobal()
+	noCache.Cache.Enabled = false
+	without, _ := Run(w, noCache, 8)
+	mw := meanOf(withCache.ProcTimes)
+	mo := meanOf(without.ProcTimes)
+	if mw <= mo {
+		t.Fatalf("cache model did not inflate processing times: %v vs %v", mw, mo)
+	}
+}
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestRunRejectsZeroCores(t *testing.T) {
+	w := testWorkload(t, 10, 500, 70)
+	if _, err := Run(w, NewPartitioned(2), 0); err == nil {
+		t.Fatal("0 cores accepted")
+	}
+}
+
+func TestPartitionedInsufficientCoresDrops(t *testing.T) {
+	// 4 BSs × 2 cores needs 8; with 4 cores half the subframes have no
+	// core and must be recorded as drops, not lost.
+	w := testWorkload(t, 100, 500, 71)
+	m, _ := Run(w, NewPartitioned(2), 4)
+	if m.Jobs() != 400 {
+		t.Fatalf("jobs %d", m.Jobs())
+	}
+	if m.Misses() < 190 {
+		t.Fatalf("expected ~half the jobs dropped, got %d", m.Misses())
+	}
+}
+
+func TestMetricsAccessors(t *testing.T) {
+	m := NewMetrics("x", 2)
+	j := &Job{BS: 0, Index: 0, MCS: 27}
+	m.Record(j, OutcomeACK, 100)
+	m.Record(j, OutcomeDropped, -1)
+	m.Record(&Job{BS: 1}, OutcomeLate, 2100)
+	m.Record(&Job{BS: 1}, OutcomeDecodeFail, 900)
+	if m.Jobs() != 4 || m.Misses() != 2 {
+		t.Fatalf("jobs %d misses %d", m.Jobs(), m.Misses())
+	}
+	if math.Abs(m.MissRate()-0.5) > 1e-12 {
+		t.Fatalf("miss rate %v", m.MissRate())
+	}
+	if len(m.ProcTimes) != 3 {
+		t.Fatalf("%d proc samples", len(m.ProcTimes))
+	}
+	if m.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestMetricsMCSFilter(t *testing.T) {
+	m := NewMetrics("x", 1)
+	m.RecordProcMCS = 27
+	m.Record(&Job{MCS: 27}, OutcomeACK, 100)
+	m.Record(&Job{MCS: 5}, OutcomeACK, 50)
+	if len(m.ProcTimes) != 1 || m.ProcTimes[0] != 100 {
+		t.Fatalf("MCS filter broken: %v", m.ProcTimes)
+	}
+}
+
+func TestLog10MissRate(t *testing.T) {
+	m := NewMetrics("x", 1)
+	if !math.IsInf(m.Log10MissRate(), -1) {
+		t.Fatal("empty metrics should be -inf")
+	}
+	for i := 0; i < 100; i++ {
+		m.Record(&Job{}, OutcomeACK, 1)
+	}
+	if m.Log10MissRate() != math.Log10(1.0/1000) {
+		t.Fatalf("zero-miss floor %v", m.Log10MissRate())
+	}
+	m.Record(&Job{}, OutcomeDropped, -1)
+	if math.Abs(m.Log10MissRate()-math.Log10(1.0/101)) > 1e-12 {
+		t.Fatal("log rate wrong")
+	}
+}
+
+func TestCodeBlocksMatchesTurboSegmentation(t *testing.T) {
+	// The workload builder's fast code-block arithmetic must agree with
+	// the real segmentation for every MCS the experiments use.
+	for mcs := 0; mcs <= lte.MaxMCS; mcs++ {
+		tbs, _, err := lte.TransportBlockSize(mcs, lte.BW10MHz.PRB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seg, err := turbo.Segment(tbs + 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := codeBlocks(tbs); got != seg.C {
+			t.Fatalf("MCS %d: codeBlocks=%d, turbo segmentation C=%d", mcs, got, seg.C)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStaticParallelBasics(t *testing.T) {
+	w := testWorkload(t, 3000, 550, 30)
+	m, err := Run(w, NewStaticParallel(2), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs() != 12000 {
+		t.Fatalf("jobs %d", m.Jobs())
+	}
+	if !strings.HasPrefix(m.Scheduler, "static-parallel") {
+		t.Fatalf("name %q", m.Scheduler)
+	}
+}
+
+func TestStaticParallelBeatsSerialPartitionedOnMisses(t *testing.T) {
+	// With the same 8 cores, the static split shortens every critical
+	// path, so it must miss less than plain partitioned.
+	w := testWorkload(t, 8000, 650, 31)
+	p, _ := Run(w, NewPartitioned(2), 8)
+	s, _ := Run(w, NewStaticParallel(2), 8)
+	if s.Misses() >= p.Misses() {
+		t.Fatalf("static-parallel (%d) not below partitioned (%d)", s.Misses(), p.Misses())
+	}
+}
+
+func TestStaticParallelWiderFanoutNeedsMoreCores(t *testing.T) {
+	// 4 BSs at fan-out 4 need 16 cores; with only 8, half the
+	// basestations have no group and everything they send drops.
+	w := testWorkload(t, 500, 550, 32)
+	m, err := Run(w, NewStaticParallel(4), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Misses() < 900 {
+		t.Fatalf("expected ~half dropped with insufficient groups, got %d", m.Misses())
+	}
+	// With 16 cores everything is hosted.
+	m16, _ := Run(w, NewStaticParallel(4), 16)
+	if m16.MissRate() > 0.05 {
+		t.Fatalf("fan-out 4 on 16 cores missing %v", m16.MissRate())
+	}
+}
+
+func TestStaticParallelFanoutBoundedBySubtasks(t *testing.T) {
+	// A single code block cannot be split: low-MCS jobs see no decode
+	// speedup, which shows up as a decode span equal to the serial time
+	// plus no fork overhead. Verify indirectly: at MCS 0 (1 code block),
+	// fan-out 4 and fan-out 1 give identical miss counts.
+	w4 := fixedMCSWorkload(t, 0, 600, 33)
+	a, _ := Run(w4, NewStaticParallel(1), 4)
+	b, _ := Run(w4, NewStaticParallel(4), 16)
+	// Decode dominates at... MCS 0 decode is tiny; both should be ~0.
+	if a.MissRate() > 0.01 || b.MissRate() > 0.01 {
+		t.Fatalf("MCS 0 should not miss: %v / %v", a.MissRate(), b.MissRate())
+	}
+}
+
+func fixedMCSWorkload(t *testing.T, mcs int, rtt2 float64, seed uint64) *Workload {
+	t.Helper()
+	base := testWorkload(t, 1, rtt2, seed).Cfg
+	base.Subframes = 2000
+	base.FixedMCS = mcs
+	base.Profiles = nil
+	w, err := BuildWorkload(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestPerBSAntennasHeterogeneous(t *testing.T) {
+	base := testWorkload(t, 1, 500, 40).Cfg
+	base.Basestations = 2
+	base.Subframes = 100
+	base.PerBSAntennas = []int{4, 1}
+	base.FixedMCS = 13
+	base.Profiles = nil
+	w, err := BuildWorkload(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Jobs[0][0].FFTSubtasks != 4*14 || w.Jobs[1][0].FFTSubtasks != 14 {
+		t.Fatalf("per-BS FFT subtasks: %d / %d", w.Jobs[0][0].FFTSubtasks, w.Jobs[1][0].FFTSubtasks)
+	}
+	if w.Jobs[0][0].Tasks.FFT <= w.Jobs[1][0].Tasks.FFT {
+		t.Fatal("macro cell FFT task not larger")
+	}
+}
+
+func TestPerBSAntennasValidation(t *testing.T) {
+	base := testWorkload(t, 1, 500, 41).Cfg
+	base.PerBSAntennas = []int{2} // 4 basestations
+	if _, err := BuildWorkload(base); err == nil {
+		t.Fatal("short PerBSAntennas accepted")
+	}
+	base.PerBSAntennas = []int{2, 2, 2, -1}
+	if _, err := BuildWorkload(base); err == nil {
+		t.Fatal("negative antenna count accepted")
+	}
+}

@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead hardens the trace parser against malformed inputs: it must
+// either return an error or a well-formed result, never panic, and any
+// successfully parsed trace must survive a write/read round trip.
+func FuzzRead(f *testing.F) {
+	f.Add("# rtopex-trace v1\nBS1,BS2\n0.5,0.25\n0.75,1.0\n")
+	f.Add("# rtopex-trace v1\nBS1\n0.0\n")
+	f.Add("")
+	f.Add("# rtopex-trace v1\n\n\n")
+	f.Add("# rtopex-trace v1\nBS1\nnope\n")
+	f.Add("# rtopex-trace v1\nBS1,BS2\n0.5\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		names, traces, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(names) != len(traces) || len(traces) == 0 {
+			t.Fatalf("accepted malformed result: %d names, %d traces", len(names), len(traces))
+		}
+		for _, tr := range traces {
+			for _, v := range tr {
+				if v < 0 || v > 1 {
+					t.Fatalf("accepted out-of-range load %v", v)
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, names, traces); err != nil {
+			t.Fatalf("round-trip write failed: %v", err)
+		}
+		if _, _, err := Read(&buf); err != nil {
+			t.Fatalf("round-trip read failed: %v", err)
+		}
+	})
+}

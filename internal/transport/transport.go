@@ -1,0 +1,152 @@
+// Package transport models the C-RAN transport path of §2.3: the fixed-
+// delay optical fronthaul, the jittery cloud (datacenter) network segment,
+// and the testbed's radio→GPP IQ-sample path whose serialization arithmetic
+// reproduces Fig. 7.
+//
+// The Fig. 7 shape falls out of the testbed topology: each WARP radio feeds
+// a 1 GbE port (per-radio serialization of a whole subframe of IQ samples),
+// and a switch aggregates all radios into the GPP's 10 GbE port (per-radio
+// aggregation serialization). At 10 MHz one subframe is 15360 samples ×
+// 4 B = 61440 B: ≈491 µs on the radio link plus ≈49 µs per antenna on the
+// aggregate — hence ≈0.9 ms at 8 antennas and >1 ms at 16, which is why the
+// paper's testbed supports at most 8 antennas at 10 MHz.
+//
+// All times are microseconds.
+package transport
+
+import (
+	"fmt"
+	"math"
+
+	"rtopex/internal/lte"
+	"rtopex/internal/stats"
+)
+
+// Fronthaul is the optical segment: propagation at ~5 µs/km plus a fixed
+// optical-switching overhead. The paper treats its jitter as negligible.
+type Fronthaul struct {
+	DistanceKm float64
+	SwitchUS   float64
+}
+
+// OneWayUS returns the fixed one-way fronthaul latency.
+func (f Fronthaul) OneWayUS() float64 {
+	return 5*f.DistanceKm + f.SwitchUS
+}
+
+// CloudNetwork is the datacenter segment between the optical switch and the
+// GPP: NIC/kernel base cost, packet serialization at the link rate, and a
+// lognormal jitter whose tail matches Fig. 6 (mean ≈0.15 ms; about 1 in 10⁴
+// packets above 0.25 ms on both 1 GbE and 10 GbE).
+type CloudNetwork struct {
+	RateGbps    float64
+	BaseUS      float64 // switch + NIC + kernel fixed cost
+	PacketBytes int     // transfer unit
+	JitterMuLn  float64 // lognormal location (of µs)
+	JitterSigma float64 // lognormal shape
+}
+
+// NewCloud returns the Fig. 6 calibration for a link rate.
+func NewCloud(rateGbps float64) CloudNetwork {
+	return CloudNetwork{
+		RateGbps:    rateGbps,
+		BaseUS:      120,
+		PacketBytes: 1500,
+		JitterMuLn:  math.Log(15),
+		JitterSigma: 0.56,
+	}
+}
+
+// SerializationUS returns the deterministic component.
+func (c CloudNetwork) SerializationUS() float64 {
+	return float64(c.PacketBytes) * 8 / (c.RateGbps * 1000)
+}
+
+// Sample draws one one-way cloud latency.
+func (c CloudNetwork) Sample(r *stats.RNG) float64 {
+	return c.BaseUS + c.SerializationUS() + r.LogNormal(c.JitterMuLn, c.JitterSigma)
+}
+
+// Mean returns the analytic mean one-way latency.
+func (c CloudNetwork) Mean() float64 {
+	return c.BaseUS + c.SerializationUS() +
+		math.Exp(c.JitterMuLn+c.JitterSigma*c.JitterSigma/2)
+}
+
+// Path is the full radio→GPP transport: fixed fronthaul plus sampled cloud
+// latency. Its samples are the RTT/2 of Eq. (2).
+type Path struct {
+	Fronthaul Fronthaul
+	Cloud     CloudNetwork
+}
+
+// Sample draws one one-way (RTT/2) transport latency.
+func (p Path) Sample(r *stats.RNG) float64 {
+	return p.Fronthaul.OneWayUS() + p.Cloud.Sample(r)
+}
+
+// FixedPath is a degenerate transport with a constant RTT/2, matching the
+// evaluation setup in §4.2 where the WARP transport is replaced by fixed
+// delays of 400–700 µs to emulate deployment distances.
+type FixedPath struct{ OneWay float64 }
+
+// Sample returns the constant latency.
+func (f FixedPath) Sample(*stats.RNG) float64 { return f.OneWay }
+
+// Sampler abstracts the transport latency source handed to the simulator.
+type Sampler interface {
+	Sample(*stats.RNG) float64
+}
+
+// IQTransport is the testbed's radio→GPP IQ path (Fig. 7).
+type IQTransport struct {
+	RadioLinkGbps  float64 // per-radio link (testbed: 1 GbE)
+	AggLinkGbps    float64 // aggregated link into the GPP (testbed: 10 GbE)
+	BytesPerSample int     // IQ sample width (16-bit I + 16-bit Q = 4)
+	OverheadUS     float64 // WARP read/write + packetization fixed cost
+	MaxJitterUS    float64 // worst-case switch/NIC jitter headroom
+}
+
+// DefaultIQTransport is the testbed configuration of §2.3.
+var DefaultIQTransport = IQTransport{
+	RadioLinkGbps:  1,
+	AggLinkGbps:    10,
+	BytesPerSample: 4,
+	OverheadUS:     30,
+	MaxJitterUS:    60,
+}
+
+// SubframeBytes is the per-antenna payload of one 1 ms subframe.
+func (t IQTransport) SubframeBytes(bw lte.Bandwidth) int {
+	return bw.SamplesPerSubframe() * t.BytesPerSample
+}
+
+// OneWayUS returns the one-way latency for n antennas: the per-radio
+// serialization happens in parallel across radios, then the aggregate link
+// serializes all n payloads.
+func (t IQTransport) OneWayUS(bw lte.Bandwidth, n int) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("transport: need at least one antenna, got %d", n)
+	}
+	bits := float64(t.SubframeBytes(bw)) * 8
+	radio := bits / (t.RadioLinkGbps * 1000)
+	agg := float64(n) * bits / (t.AggLinkGbps * 1000)
+	return t.OverheadUS + radio + agg, nil
+}
+
+// MaxAntennas returns the largest antenna count whose worst-case one-way
+// latency (mean plus jitter headroom, since Fig. 7 plots the maximum
+// observed latency) stays within budgetUS. The paper uses a 1000 µs budget:
+// one subframe period, beyond which queueing builds up — giving 8 antennas
+// at 10 MHz on the default testbed.
+func (t IQTransport) MaxAntennas(bw lte.Bandwidth, budgetUS float64) int {
+	maxN := 0
+	for n := 1; n <= 64; n++ {
+		l, err := t.OneWayUS(bw, n)
+		if err != nil || l+t.MaxJitterUS > budgetUS {
+			break
+		}
+		maxN = n
+	}
+	return maxN
+}

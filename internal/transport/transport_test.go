@@ -1,0 +1,159 @@
+package transport
+
+import (
+	"math"
+	"testing"
+
+	"rtopex/internal/lte"
+	"rtopex/internal/stats"
+)
+
+func TestFronthaulArithmetic(t *testing.T) {
+	f := Fronthaul{DistanceKm: 20, SwitchUS: 10}
+	if got := f.OneWayUS(); got != 110 {
+		t.Fatalf("one-way %v, want 110", got)
+	}
+	// §2.3: 20–40 km gives 0.1–0.2 ms of propagation alone.
+	if p := (Fronthaul{DistanceKm: 40}).OneWayUS(); p != 200 {
+		t.Fatalf("40 km = %v µs", p)
+	}
+}
+
+func TestCloudMeanMatchesFig6(t *testing.T) {
+	for _, rate := range []float64{1, 10} {
+		c := NewCloud(rate)
+		r := stats.NewRNG(uint64(rate))
+		w := stats.Welford{}
+		for i := 0; i < 200000; i++ {
+			w.Add(c.Sample(r))
+		}
+		// Paper: mean transport latency around 0.15 ms.
+		if w.Mean() < 120 || w.Mean() > 180 {
+			t.Fatalf("%v GbE mean %v µs, want ~150", rate, w.Mean())
+		}
+		if math.Abs(w.Mean()-c.Mean()) > 2 {
+			t.Fatalf("analytic mean %v vs empirical %v", c.Mean(), w.Mean())
+		}
+	}
+}
+
+func TestCloudTailMatchesFig6(t *testing.T) {
+	// About 1 in 10⁴ packets above 0.25 ms for both rates.
+	for _, rate := range []float64{1, 10} {
+		c := NewCloud(rate)
+		r := stats.NewRNG(uint64(100 + rate))
+		const n = 1_000_000
+		over := 0
+		for i := 0; i < n; i++ {
+			if c.Sample(r) > 250 {
+				over++
+			}
+		}
+		frac := float64(over) / n
+		if frac < 1e-5 || frac > 1e-3 {
+			t.Fatalf("%v GbE P(>250µs) = %v, want ~1e-4", rate, frac)
+		}
+	}
+}
+
+func TestCloudSerialization(t *testing.T) {
+	c := NewCloud(1)
+	if got := c.SerializationUS(); math.Abs(got-12) > 1e-9 {
+		t.Fatalf("1 GbE 1500 B serialization %v µs, want 12", got)
+	}
+	c10 := NewCloud(10)
+	if got := c10.SerializationUS(); math.Abs(got-1.2) > 1e-9 {
+		t.Fatalf("10 GbE serialization %v µs, want 1.2", got)
+	}
+}
+
+func TestIQSubframeBytes(t *testing.T) {
+	if got := DefaultIQTransport.SubframeBytes(lte.BW10MHz); got != 61440 {
+		t.Fatalf("10 MHz subframe bytes %d, want 61440", got)
+	}
+	if got := DefaultIQTransport.SubframeBytes(lte.BW5MHz); got != 30720 {
+		t.Fatalf("5 MHz subframe bytes %d", got)
+	}
+}
+
+func TestIQLatencyMatchesFig7(t *testing.T) {
+	tr := DefaultIQTransport
+	// 10 MHz, 8 antennas ≈ 0.9 ms ("one-way latency ... as high as 0.9ms").
+	l8, err := tr.OneWayUS(lte.BW10MHz, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l8 < 850 || l8 > 1000 {
+		t.Fatalf("10 MHz × 8 antennas = %v µs, want ~900", l8)
+	}
+	// 10 MHz, 16 antennas exceeds 1 ms.
+	l16, _ := tr.OneWayUS(lte.BW10MHz, 16)
+	if l16 <= 1000 {
+		t.Fatalf("10 MHz × 16 antennas = %v µs, want > 1000", l16)
+	}
+	// 5 MHz, 16 antennas ≈ 620 µs maximum in Fig. 7.
+	l5, _ := tr.OneWayUS(lte.BW5MHz, 16)
+	if l5 < 550 || l5 > 700 {
+		t.Fatalf("5 MHz × 16 antennas = %v µs, want ~620", l5)
+	}
+}
+
+func TestIQLatencyMonotoneInAntennas(t *testing.T) {
+	prev := 0.0
+	for n := 1; n <= 16; n++ {
+		l, err := DefaultIQTransport.OneWayUS(lte.BW10MHz, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l <= prev {
+			t.Fatalf("latency not increasing at n=%d", n)
+		}
+		prev = l
+	}
+}
+
+func TestIQErrors(t *testing.T) {
+	if _, err := DefaultIQTransport.OneWayUS(lte.BW10MHz, 0); err == nil {
+		t.Fatal("0 antennas accepted")
+	}
+}
+
+func TestMaxAntennas(t *testing.T) {
+	// "at most 8 antennas at 10 MHz can be supported on the GPP" (§2.3).
+	if got := DefaultIQTransport.MaxAntennas(lte.BW10MHz, 1000); got != 8 {
+		t.Fatalf("max antennas at 10 MHz = %d, want 8", got)
+	}
+	if got := DefaultIQTransport.MaxAntennas(lte.BW5MHz, 1000); got < 16 {
+		t.Fatalf("max antennas at 5 MHz = %d, want >= 16", got)
+	}
+	if got := DefaultIQTransport.MaxAntennas(lte.BW10MHz, 1); got != 0 {
+		t.Fatalf("impossible budget gave %d", got)
+	}
+}
+
+func TestPathCombines(t *testing.T) {
+	p := Path{
+		Fronthaul: Fronthaul{DistanceKm: 20, SwitchUS: 10},
+		Cloud:     NewCloud(10),
+	}
+	r := stats.NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		s := p.Sample(r)
+		if s <= p.Fronthaul.OneWayUS()+p.Cloud.BaseUS {
+			t.Fatal("sample below deterministic floor")
+		}
+	}
+}
+
+func TestFixedPath(t *testing.T) {
+	f := FixedPath{OneWay: 500}
+	r := stats.NewRNG(6)
+	for i := 0; i < 10; i++ {
+		if f.Sample(r) != 500 {
+			t.Fatal("FixedPath not constant")
+		}
+	}
+	// FixedPath and Path must both satisfy Sampler.
+	var _ Sampler = f
+	var _ Sampler = Path{}
+}

@@ -1,0 +1,261 @@
+package turbo
+
+import "fmt"
+
+// LLR convention throughout: positive ⇒ bit 0 more likely (matching
+// internal/modulation's demappers). Branch symbols map bit b to ±1 via
+// (1 - 2b), so a branch's metric contribution is ½·symbol·LLR.
+
+const negInf = -1e30
+
+// Decoder is an iterative max-log-MAP turbo decoder for one block size K.
+// A Decoder holds scratch buffers and is not safe for concurrent use; the
+// PHY chain allocates one per worker.
+type Decoder struct {
+	K  int
+	il *Interleaver
+
+	// MaxIterations bounds the full decoder iterations (the paper's Lm,
+	// default 4; each full iteration runs both constituent decoders).
+	MaxIterations int
+
+	// scratch
+	sysI   []float64 // interleaved systematic LLRs
+	la     []float64 // a-priori for decoder 1
+	la2    []float64 // a-priori for decoder 2
+	le     []float64 // extrinsic out
+	alpha  []float64 // (K+1) × numStates
+	beta   []float64
+	gamma0 []float64 // branch metric for u=0, per step
+	gamma1 []float64
+	total  []float64
+	hard   []byte
+}
+
+// NewDecoder builds a decoder for block size k.
+func NewDecoder(k int) (*Decoder, error) {
+	il, err := NewInterleaver(k)
+	if err != nil {
+		return nil, err
+	}
+	return &Decoder{
+		K:             k,
+		il:            il,
+		MaxIterations: 4,
+		sysI:          make([]float64, k),
+		la:            make([]float64, k),
+		la2:           make([]float64, k),
+		le:            make([]float64, k),
+		alpha:         make([]float64, (k+1)*numStates),
+		beta:          make([]float64, (k+1)*numStates),
+		gamma0:        make([]float64, k),
+		gamma1:        make([]float64, k),
+		total:         make([]float64, k),
+		hard:          make([]byte, k),
+	}, nil
+}
+
+// Result reports the outcome of a Decode call.
+type Result struct {
+	Bits       []byte // K hard-decision bits (aliases decoder scratch; copy to retain)
+	Iterations int    // full iterations executed (1..MaxIterations)
+	OK         bool   // check function accepted the bits
+}
+
+// Decode runs iterative decoding over the three soft streams (each K+4 LLRs,
+// as produced by rate dematching). check, if non-nil, is evaluated on the
+// hard decisions after each full iteration and decoding stops early when it
+// returns true — the LTE receiver uses the code-block CRC here, and the
+// returned iteration count is the paper's L.
+func (d *Decoder) Decode(s0, s1, s2 []float64, check func([]byte) bool) Result {
+	k := d.K
+	if len(s0) != k+4 || len(s1) != k+4 || len(s2) != k+4 {
+		panic(fmt.Sprintf("turbo: stream lengths (%d,%d,%d), want %d", len(s0), len(s1), len(s2), k+4))
+	}
+	sys := s0[:k]
+	par1 := s1[:k]
+	par2 := s2[:k]
+	x1, z1, x2, z2 := demuxTails(s0, s1, s2, k)
+	d.il.PermuteF(sys, d.sysI)
+	for i := range d.la {
+		d.la[i] = 0
+	}
+
+	res := Result{Bits: d.hard}
+	for it := 1; it <= d.MaxIterations; it++ {
+		res.Iterations = it
+		// Decoder 1 on natural order.
+		d.constituent(sys, par1, d.la, x1, z1, d.le)
+		// Interleave extrinsic -> a-priori of decoder 2.
+		d.il.PermuteF(d.le, d.la2)
+		le1 := append([]float64(nil), d.le...) // keep for the final total
+		// Decoder 2 on interleaved order.
+		d.constituent(d.sysI, par2, d.la2, x2, z2, d.le)
+		// Deinterleave extrinsic -> a-priori of decoder 1.
+		d.il.InverseF(d.le, d.la)
+
+		for i := 0; i < k; i++ {
+			d.total[i] = sys[i] + d.la[i] + le1[i]
+			if d.total[i] < 0 {
+				d.hard[i] = 1
+			} else {
+				d.hard[i] = 0
+			}
+		}
+		if check != nil && check(d.hard) {
+			res.OK = true
+			return res
+		}
+	}
+	res.OK = check == nil
+	return res
+}
+
+// constituent runs one max-log-MAP pass: systematic LLRs lsys, parity LLRs
+// lpar, a-priori la (all length K), plus 3 termination systematic/parity
+// LLRs. It writes the extrinsic output into le.
+func (d *Decoder) constituent(lsys, lpar, la []float64, xTail, zTail [3]float64, le []float64) {
+	k := d.K
+	alpha, beta := d.alpha, d.beta
+
+	// Branch metrics: gamma(u) = ½(1-2u)(lsys+la) + ½(1-2z)lpar, with the
+	// parity term folded in per-state below (z depends on the state).
+	for i := 0; i < k; i++ {
+		d.gamma0[i] = 0.5 * (lsys[i] + la[i])
+		d.gamma1[i] = 0.5 * lpar[i]
+	}
+
+	// Forward recursion. alpha[0] = {0, -inf...}.
+	alpha[0] = 0
+	for s := 1; s < numStates; s++ {
+		alpha[s] = negInf
+	}
+	for i := 0; i < k; i++ {
+		cur := alpha[i*numStates : (i+1)*numStates]
+		next := alpha[(i+1)*numStates : (i+2)*numStates]
+		for s := range next {
+			next[s] = negInf
+		}
+		gs, gp := d.gamma0[i], d.gamma1[i]
+		for s := 0; s < numStates; s++ {
+			as := cur[s]
+			if as <= negInf {
+				continue
+			}
+			for u := 0; u <= 1; u++ {
+				m := as + branchMetric(u, parityBit[s][u], gs, gp)
+				ns := nextState[s][u]
+				if m > next[ns] {
+					next[ns] = m
+				}
+			}
+		}
+		// Normalize to keep metrics bounded over long blocks.
+		normalize(next)
+	}
+
+	// Tail: compute beta[K] by backward recursion over the three forced
+	// termination steps starting from state 0 at the (virtual) step K+3.
+	var tb [numStates]float64
+	for s := range tb {
+		tb[s] = negInf
+	}
+	tb[0] = 0
+	for t := 2; t >= 0; t-- {
+		var nb [numStates]float64
+		for s := 0; s < numStates; s++ {
+			u := feedback[s]
+			ns := nextState[s][u]
+			if tb[ns] <= negInf {
+				nb[s] = negInf
+				continue
+			}
+			gs := 0.5 * xTail[t]
+			gp := 0.5 * zTail[t]
+			nb[s] = tb[ns] + branchMetric(int(u), parityBit[s][u], gs, gp)
+		}
+		tb = nb
+	}
+	bk := beta[k*numStates : (k+1)*numStates]
+	copy(bk, tb[:])
+
+	// Backward recursion.
+	for i := k - 1; i >= 0; i-- {
+		nextB := beta[(i+1)*numStates : (i+2)*numStates]
+		curB := beta[i*numStates : (i+1)*numStates]
+		gs, gp := d.gamma0[i], d.gamma1[i]
+		for s := 0; s < numStates; s++ {
+			best := negInf
+			for u := 0; u <= 1; u++ {
+				ns := nextState[s][u]
+				if nextB[ns] <= negInf {
+					continue
+				}
+				m := nextB[ns] + branchMetric(u, parityBit[s][u], gs, gp)
+				if m > best {
+					best = m
+				}
+			}
+			curB[s] = best
+		}
+		normalize(curB)
+	}
+
+	// Per-bit LLR and extrinsic.
+	for i := 0; i < k; i++ {
+		curA := alpha[i*numStates : (i+1)*numStates]
+		nextB := beta[(i+1)*numStates : (i+2)*numStates]
+		gs, gp := d.gamma0[i], d.gamma1[i]
+		m0, m1 := negInf, negInf
+		for s := 0; s < numStates; s++ {
+			as := curA[s]
+			if as <= negInf {
+				continue
+			}
+			if b := nextB[nextState[s][0]]; b > negInf {
+				if m := as + branchMetric(0, parityBit[s][0], gs, gp) + b; m > m0 {
+					m0 = m
+				}
+			}
+			if b := nextB[nextState[s][1]]; b > negInf {
+				if m := as + branchMetric(1, parityBit[s][1], gs, gp) + b; m > m1 {
+					m1 = m
+				}
+			}
+		}
+		llr := m0 - m1
+		le[i] = llr - lsys[i] - la[i]
+	}
+}
+
+// branchMetric evaluates ½·u_sym·(lsys+la) + ½·z_sym·lpar where gs and gp
+// already carry the ½·LLR factors and u_sym, z_sym = ±1 for bits 0/1.
+func branchMetric(u int, z byte, gs, gp float64) float64 {
+	m := gs
+	if u == 1 {
+		m = -gs
+	}
+	if z == 1 {
+		m -= gp
+	} else {
+		m += gp
+	}
+	return m
+}
+
+func normalize(v []float64) {
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	if m <= negInf {
+		return
+	}
+	for i := range v {
+		if v[i] > negInf {
+			v[i] -= m
+		}
+	}
+}

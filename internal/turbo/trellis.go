@@ -1,0 +1,61 @@
+package turbo
+
+// The LTE constituent code is the 8-state recursive systematic convolutional
+// (RSC) encoder with transfer function G(D) = [1, g1(D)/g0(D)],
+// g0 = 1 + D² + D³ (13 octal, feedback) and g1 = 1 + D + D³ (15 octal).
+//
+// State encoding: bit 0 is the most recent register, bit 2 the oldest.
+
+const numStates = 8
+
+// trellis tables, indexed [state][inputBit].
+var (
+	nextState [numStates][2]int
+	parityBit [numStates][2]byte
+	// feedback[s] is the input that keeps the feedback sum zero; feeding it
+	// during termination drives the register chain toward state 0.
+	feedback [numStates]byte
+)
+
+func init() {
+	for s := 0; s < numStates; s++ {
+		r0 := byte(s & 1)
+		r1 := byte((s >> 1) & 1)
+		r2 := byte((s >> 2) & 1)
+		fb := r1 ^ r2 // taps of g0 at D² and D³
+		feedback[s] = fb
+		for u := byte(0); u <= 1; u++ {
+			t := u ^ fb                            // value entering the register chain
+			z := t ^ r0 ^ r2                       // taps of g1 at 1 (via t), D, D³
+			ns := int(t) | int(r0)<<1 | int(r1)<<2 // shift in t
+			nextState[s][u] = ns
+			parityBit[s][u] = z
+		}
+	}
+}
+
+// rscEncode runs the constituent encoder over input bits starting from state
+// 0, returning the parity stream and performing trellis termination: the
+// returned xTail and zTail are the 3 systematic and 3 parity termination
+// bits (TS 36.212 §5.1.3.2.2).
+func rscEncode(input []byte) (parity, xTail, zTail []byte) {
+	parity = make([]byte, len(input))
+	s := 0
+	for i, u := range input {
+		u &= 1
+		parity[i] = parityBit[s][u]
+		s = nextState[s][u]
+	}
+	xTail = make([]byte, 3)
+	zTail = make([]byte, 3)
+	for i := 0; i < 3; i++ {
+		u := feedback[s] // forced input: zero into the register chain
+		xTail[i] = u
+		zTail[i] = parityBit[s][u]
+		s = nextState[s][u]
+	}
+	if s != 0 {
+		panic("turbo: trellis termination did not reach state 0")
+	}
+	return parity, xTail, zTail
+}

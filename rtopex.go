@@ -1,0 +1,228 @@
+// Package rtopex is a from-scratch Go reproduction of "RT-OPEX: Flexible
+// Scheduling for Cloud-RAN Processing" (Garikipati, Fawaz, Shin — CoNEXT
+// 2016): an LTE uplink PHY, an end-to-end C-RAN timing model, and the three
+// subframe schedulers the paper evaluates — partitioned, global (EDF), and
+// RT-OPEX, which opportunistically migrates parallelizable subtasks (FFT
+// symbols, turbo code blocks) into the idle gaps of other cores.
+//
+// The package has three layers, all usable independently:
+//
+//   - The PHY link: Transmitter/Receiver encode and decode real PUSCH
+//     subframes (turbo coding, rate matching, SC-FDMA, soft demapping),
+//     with the receive chain decomposed into the paper's task/subtask
+//     pipeline so its stages can run — and migrate — concurrently.
+//
+//   - The scheduler simulation: BuildWorkload materializes a trace-driven
+//     job set (Eq. 1 processing times, platform jitter, transport latency)
+//     and Simulate runs it under any Scheduler on a deterministic
+//     discrete-event multicore, reporting deadline-miss metrics.
+//
+//   - The experiment harness: RunExperiment regenerates any table or
+//     figure of the paper's evaluation by id (see Experiments).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-reproduction comparison of every experiment.
+package rtopex
+
+import (
+	"rtopex/internal/channel"
+	"rtopex/internal/harness"
+	"rtopex/internal/lte"
+	"rtopex/internal/model"
+	"rtopex/internal/phy"
+	"rtopex/internal/sched"
+	"rtopex/internal/trace"
+	"rtopex/internal/transport"
+)
+
+// PHY layer.
+type (
+	// PHYConfig configures one basestation's uplink PHY.
+	PHYConfig = phy.Config
+	// Transmitter synthesizes PUSCH subframes (for test vectors and the
+	// testbed emulation).
+	Transmitter = phy.Transmitter
+	// Receiver decodes PUSCH subframes with the FFT → demod → decode task
+	// pipeline of the paper's Fig. 5.
+	Receiver = phy.Receiver
+	// RxResult reports one subframe's decode outcome.
+	RxResult = phy.Result
+	// HARQReceiver accumulates soft bits across retransmissions
+	// (chase/incremental-redundancy combining).
+	HARQReceiver = phy.HARQReceiver
+	// Stage is one receive task: independent subtasks behind a barrier.
+	Stage = phy.Stage
+	// Bandwidth is an LTE channel configuration (use BW5MHz/BW10MHz/BW20MHz).
+	Bandwidth = lte.Bandwidth
+	// Channel is the AWGN/flat-fading model used to exercise the link.
+	Channel = channel.Model
+	// MultipathChannel is the frequency-selective tapped-delay-line model.
+	MultipathChannel = channel.Multipath
+	// DLTransmitter encodes downlink (PDSCH) subframes — the Tx-processing
+	// side of the paper's Fig. 8 timeline.
+	DLTransmitter = phy.DLTransmitter
+	// DLReceiver is the UE-side PDSCH receiver used to validate the node's
+	// downlink encoding.
+	DLReceiver = phy.DLReceiver
+)
+
+// Standard LTE bandwidths.
+var (
+	BW5MHz  = lte.BW5MHz
+	BW10MHz = lte.BW10MHz
+	BW20MHz = lte.BW20MHz
+)
+
+// NewTransmitter builds a PUSCH transmitter.
+func NewTransmitter(cfg PHYConfig) (*Transmitter, error) { return phy.NewTransmitter(cfg) }
+
+// NewReceiver builds a PUSCH receiver.
+func NewReceiver(cfg PHYConfig) (*Receiver, error) { return phy.NewReceiver(cfg) }
+
+// NewHARQReceiver builds a soft-combining HARQ receiver.
+func NewHARQReceiver(cfg PHYConfig) (*HARQReceiver, error) { return phy.NewHARQReceiver(cfg) }
+
+// HARQRVSequence is the LTE redundancy-version cycling order (0, 2, 3, 1).
+var HARQRVSequence = phy.RVSequence
+
+// NewChannel builds an AWGN channel with a flat per-antenna gain.
+func NewChannel(snrDB float64, antennas int, seed uint64) (*Channel, error) {
+	return channel.New(snrDB, antennas, seed)
+}
+
+// NewMultipathChannel builds a frequency-selective fading channel; use the
+// standard channel.EPA / channel.EVA tap profiles via EPAProfile/EVAProfile.
+func NewMultipathChannel(snrDB float64, antennas int, taps []channel.Tap, seed uint64) (*MultipathChannel, error) {
+	return channel.NewMultipath(snrDB, antennas, taps, seed)
+}
+
+// Standard 3GPP delay profiles for NewMultipathChannel.
+var (
+	EPAProfile = channel.EPA
+	EVAProfile = channel.EVA
+)
+
+// NewDLTransmitter builds a PDSCH (downlink) transmitter.
+func NewDLTransmitter(cfg PHYConfig) (*DLTransmitter, error) { return phy.NewDLTransmitter(cfg) }
+
+// NewDLReceiver builds a UE-side PDSCH receiver.
+func NewDLReceiver(cfg PHYConfig) (*DLReceiver, error) { return phy.NewDLReceiver(cfg) }
+
+// Timing model.
+type (
+	// ModelParams are the Eq. (1) coefficients; PaperGPP is Table 1.
+	ModelParams = model.Params
+	// TaskTimes splits a subframe's processing across FFT/demod/decode.
+	TaskTimes = model.TaskTimes
+	// Jitter is the platform-error model of Fig. 3(d).
+	Jitter = model.Jitter
+	// IterationLaw models the SNR-dependent turbo iteration count.
+	IterationLaw = model.IterationLaw
+)
+
+// Calibrated model defaults.
+var (
+	// PaperGPP is the paper's Table 1 fit (w0..w3 in µs, r²=0.992).
+	PaperGPP = model.PaperGPP
+	// DefaultJitter matches Fig. 3(d)'s error tail.
+	DefaultJitter = model.DefaultJitter
+	// DefaultIterationLaw matches the evaluation's iteration statistics.
+	DefaultIterationLaw = model.DefaultIterationLaw
+)
+
+// Scheduling layer.
+type (
+	// WorkloadConfig describes a C-RAN workload (basestations, traces,
+	// transport, model parameters).
+	WorkloadConfig = sched.WorkloadConfig
+	// Workload is a materialized job set, replayable under any scheduler.
+	Workload = sched.Workload
+	// Job is one subframe decoding task.
+	Job = sched.Job
+	// Scheduler is a C-RAN subframe scheduler under simulation.
+	Scheduler = sched.Scheduler
+	// Metrics aggregates deadline-miss and migration statistics.
+	Metrics = sched.Metrics
+	// Partitioned is the offline-partitioned scheduler (§3.1.1).
+	Partitioned = sched.Partitioned
+	// Global is the shared-queue EDF scheduler (§3.1.2).
+	Global = sched.Global
+	// RTOPEX is the paper's migrating scheduler (§3.2).
+	RTOPEX = sched.RTOPEX
+	// StaticParallel is the BigStation-style Table 2 comparator: a fixed
+	// design-time fan-out of every subframe's subtasks.
+	StaticParallel = sched.StaticParallel
+	// PRAN is the planner-based Table 2 comparator: dynamic resource pool,
+	// subtask granularity, but decisions made before processing starts.
+	PRAN = sched.PRAN
+	// SemiPartitioned is the task-level (whole-job) migration baseline.
+	SemiPartitioned = sched.SemiPartitioned
+)
+
+// Transport models.
+type (
+	// TransportSampler yields one-way (RTT/2) transport latencies.
+	TransportSampler = transport.Sampler
+	// FixedTransport is a constant RTT/2 (the paper's evaluation setup).
+	FixedTransport = transport.FixedPath
+	// TransportPath is fronthaul + jittery cloud segment.
+	TransportPath = transport.Path
+)
+
+// Workload traces.
+type (
+	// TraceProfile parameterizes a basestation load process.
+	TraceProfile = trace.Profile
+	// Trace is a per-millisecond normalized load sequence.
+	Trace = trace.Trace
+)
+
+// DefaultTraceProfiles are four basestations spanning Fig. 14's diversity.
+var DefaultTraceProfiles = trace.DefaultProfiles
+
+// NewPartitioned creates a partitioned scheduler with c cores per BS
+// (the paper's ⌈Tmax⌉, 2 in the evaluation).
+func NewPartitioned(coresPerBS int) *Partitioned { return sched.NewPartitioned(coresPerBS) }
+
+// NewGlobal creates the shared-queue scheduler with default overheads.
+func NewGlobal() *Global { return sched.NewGlobal() }
+
+// NewRTOPEX creates RT-OPEX over a c-cores-per-BS partitioned schedule.
+func NewRTOPEX(coresPerBS int) *RTOPEX { return sched.NewRTOPEX(coresPerBS) }
+
+// NewStaticParallel creates the static-fan-out comparator with k cores per
+// basestation.
+func NewStaticParallel(coresPerBS int) *StaticParallel { return sched.NewStaticParallel(coresPerBS) }
+
+// NewPRAN creates the load-planned dynamic-pool comparator.
+func NewPRAN() *PRAN { return sched.NewPRAN() }
+
+// NewSemiPartitioned creates the whole-job-migration baseline.
+func NewSemiPartitioned(coresPerBS int) *SemiPartitioned {
+	return sched.NewSemiPartitioned(coresPerBS)
+}
+
+// BuildWorkload materializes a deterministic job set from a configuration.
+func BuildWorkload(cfg WorkloadConfig) (*Workload, error) { return sched.BuildWorkload(cfg) }
+
+// Simulate runs a workload under a scheduler on the given core count.
+func Simulate(w *Workload, s Scheduler, cores int) (*Metrics, error) {
+	return sched.Run(w, s, cores)
+}
+
+// Experiment harness.
+type (
+	// ExperimentTable is a regenerated paper table/figure.
+	ExperimentTable = harness.Table
+	// ExperimentOptions scale an experiment run.
+	ExperimentOptions = harness.Options
+)
+
+// Experiments lists the runnable experiment ids (fig1..fig19, table1,
+// ablation-*).
+func Experiments() []string { return harness.IDs() }
+
+// RunExperiment regenerates one table or figure of the paper.
+func RunExperiment(id string, o ExperimentOptions) (*ExperimentTable, error) {
+	return harness.Run(id, o)
+}
