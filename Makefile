@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: ci build test vet race fmt-check bench trace-demo
+
+ci: vet build race fmt-check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# fmt-check fails when any file needs gofmt.
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# trace-demo runs a traced 1000-subframe RT-OPEX simulation and renders the
+# per-core timeline plus migration-state tallies.
+trace-demo:
+	$(GO) run ./cmd/rtoptrace -run -subframes 1000

@@ -1,0 +1,133 @@
+package harness
+
+// This file is the per-run trace and metrics sink layer: run one workload
+// under one scheduler with the event-trace layer attached, then export what
+// happened (metrics, engine statistics, per-event trace) as JSON or CSV for
+// offline analysis and for cmd/rtoptrace's timeline rendering.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"rtopex/internal/platform"
+	"rtopex/internal/sched"
+	"rtopex/internal/trace"
+)
+
+// EngineStats counts discrete-event engine activity over one run (via the
+// platform hook): how many events were scheduled and executed, and the
+// final simulation clock.
+type EngineStats struct {
+	Scheduled int64   `json:"scheduled"`
+	Executed  int64   `json:"executed"`
+	EndTimeUS float64 `json:"end_time_us"`
+}
+
+// OnAt implements platform.Hook.
+func (s *EngineStats) OnAt(at, now float64) { s.Scheduled++ }
+
+// OnStep implements platform.Hook.
+func (s *EngineStats) OnStep(now float64) { s.Executed++; s.EndTimeUS = now }
+
+var _ platform.Hook = (*EngineStats)(nil)
+
+// RunResult bundles one traced run's outputs.
+type RunResult struct {
+	Metrics *sched.Metrics
+	Engine  EngineStats
+	Log     *trace.EventLog
+}
+
+// TracedRun executes one workload under one scheduler with an event ring of
+// the given capacity attached (ringCap ≤ 0 retains every event) and engine
+// instrumentation enabled.
+func TracedRun(w *sched.Workload, s sched.Scheduler, cores, ringCap int) (*RunResult, error) {
+	ring := trace.NewRing(ringCap)
+	res := &RunResult{}
+	m, err := sched.RunConfigured(w, s, sched.RunConfig{
+		Cores:      cores,
+		Tracer:     ring,
+		EngineHook: &res.Engine,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Metrics = m
+	res.Log = &trace.EventLog{
+		Scheduler: m.Scheduler,
+		Cores:     cores,
+		Dropped:   ring.Dropped(),
+		Events:    ring.Events(),
+	}
+	return res, nil
+}
+
+// metricsDoc is the exported metrics document: run metrics plus engine
+// statistics.
+type metricsDoc struct {
+	Metrics *sched.Metrics `json:"metrics"`
+	Engine  EngineStats    `json:"engine"`
+}
+
+// WriteMetricsJSON exports the run's metrics and engine statistics.
+func (r *RunResult) WriteMetricsJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(metricsDoc{Metrics: r.Metrics, Engine: r.Engine})
+}
+
+// WriteTraceJSON exports the run's event trace.
+func (r *RunResult) WriteTraceJSON(w io.Writer) error { return r.Log.WriteJSON(w) }
+
+// Sink saves traced runs into a directory, one metrics and one trace file
+// per run.
+type Sink struct {
+	// Dir is the output directory (created if missing).
+	Dir string
+	// CSV switches the export format from JSON (default) to CSV.
+	CSV bool
+}
+
+// Save writes <name>-metrics.<ext> and <name>-trace.<ext> and returns their
+// paths.
+func (s *Sink) Save(name string, r *RunResult) (metricsPath, tracePath string, err error) {
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return "", "", err
+	}
+	ext := "json"
+	if s.CSV {
+		ext = "csv"
+	}
+	metricsPath = filepath.Join(s.Dir, fmt.Sprintf("%s-metrics.%s", name, ext))
+	tracePath = filepath.Join(s.Dir, fmt.Sprintf("%s-trace.%s", name, ext))
+	if err := writeFile(metricsPath, func(w io.Writer) error {
+		if s.CSV {
+			return r.Metrics.WriteCSV(w)
+		}
+		return r.WriteMetricsJSON(w)
+	}); err != nil {
+		return "", "", err
+	}
+	if err := writeFile(tracePath, func(w io.Writer) error {
+		if s.CSV {
+			return r.Log.WriteCSV(w)
+		}
+		return r.WriteTraceJSON(w)
+	}); err != nil {
+		return "", "", err
+	}
+	return metricsPath, tracePath, nil
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

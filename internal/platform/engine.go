@@ -14,10 +14,23 @@ import "container/heap"
 
 // Engine is a single-threaded discrete-event simulator.
 type Engine struct {
-	now float64
-	seq int64
-	pq  eventHeap
+	now  float64
+	seq  int64
+	pq   eventHeap
+	hook Hook
 }
+
+// Hook observes engine activity for tracing and diagnostics: OnAt fires
+// when an event is scheduled (with its target time and the current clock),
+// OnStep after an event executes. Both are synchronous; a hook must not
+// mutate engine state. A nil hook (the default) costs one branch per call.
+type Hook interface {
+	OnAt(at, now float64)
+	OnStep(now float64)
+}
+
+// SetHook installs (or with nil removes) the engine's observer.
+func (e *Engine) SetHook(h Hook) { e.hook = h }
 
 type event struct {
 	at  float64
@@ -57,6 +70,9 @@ func (e *Engine) At(t float64, fn func()) {
 	if t < e.now {
 		panic("platform: event scheduled in the past")
 	}
+	if e.hook != nil {
+		e.hook.OnAt(t, e.now)
+	}
 	e.seq++
 	heap.Push(&e.pq, event{at: t, seq: e.seq, do: fn})
 }
@@ -80,6 +96,9 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.pq).(event)
 	e.now = ev.at
 	ev.do()
+	if e.hook != nil {
+		e.hook.OnStep(e.now)
+	}
 	return true
 }
 

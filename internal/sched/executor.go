@@ -1,6 +1,10 @@
 package sched
 
-import "rtopex/internal/platform"
+import (
+	"fmt"
+
+	"rtopex/internal/trace"
+)
 
 // serialExec runs one job's task sequence (FFT → demod → L decode
 // iterations) on a single core, with the slack-based deadline enforcement
@@ -19,9 +23,13 @@ import "rtopex/internal/platform"
 // deadline; otherwise the job runs to natural completion and is late.
 //
 // done fires on the engine at the moment the core becomes free.
-func serialExec(eng *platform.Engine, j *Job, extra float64, terminateAtDeadline bool, done func(Outcome, float64)) {
+func serialExec(env *Env, core int, j *Job, extra float64, terminateAtDeadline bool, done func(Outcome, float64)) {
+	eng := env.Eng
 	start := eng.Now()
 	t := start + extra
+	if env.Trace != nil {
+		env.emit(core, j, trace.EvStart, "")
+	}
 
 	// Phase actual durations: estimates plus the jitter strike.
 	phases := make([]float64, 0, 2+j.L)
@@ -50,11 +58,20 @@ func serialExec(eng *platform.Engine, j *Job, extra float64, terminateAtDeadline
 			if at < start {
 				at = start
 			}
+			if env.Trace != nil {
+				env.emitAt(at, core, j, trace.EvDrop, serialPhaseName(i))
+			}
 			eng.At(at, func() { done(OutcomeDropped, -1) })
 			return
 		}
+		if env.Trace != nil {
+			env.emitAt(t, core, j, trace.EvPhase, serialPhaseName(i))
+		}
 		t += phases[i]
 		if terminateAtDeadline && t > j.Deadline {
+			if env.Trace != nil {
+				env.emitAt(j.Deadline, core, j, trace.EvFinish, outcomeDetail(OutcomeLate))
+			}
 			eng.At(j.Deadline, func() { done(OutcomeLate, j.Deadline-start) })
 			return
 		}
@@ -69,5 +86,35 @@ func serialExec(eng *platform.Engine, j *Job, extra float64, terminateAtDeadline
 	case !j.Decodable:
 		out = OutcomeDecodeFail
 	}
+	if env.Trace != nil {
+		env.emitAt(finish, core, j, trace.EvFinish, outcomeDetail(out))
+	}
 	eng.At(finish, func() { done(out, proc) })
+}
+
+// serialPhaseName labels serialExec's phase i for the trace.
+func serialPhaseName(i int) string {
+	switch i {
+	case 0:
+		return "fft"
+	case 1:
+		return "demod"
+	default:
+		return fmt.Sprintf("decode%d", i-2)
+	}
+}
+
+// outcomeDetail is the trace detail string of a terminal outcome.
+func outcomeDetail(o Outcome) string {
+	switch o {
+	case OutcomeACK:
+		return "ack"
+	case OutcomeDropped:
+		return "drop"
+	case OutcomeLate:
+		return "late"
+	case OutcomeDecodeFail:
+		return "decodefail"
+	}
+	return "unknown"
 }

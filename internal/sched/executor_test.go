@@ -13,10 +13,11 @@ import (
 func execJob(t *testing.T, j *Job, extra float64, terminate bool) (Outcome, float64, float64) {
 	t.Helper()
 	eng := platform.New()
+	env := &Env{Eng: eng, M: NewMetrics("test", 1)}
 	var out Outcome
 	var proc float64
 	done := false
-	serialExec(eng, j, extra, terminate, func(o Outcome, p float64) {
+	serialExec(env, 0, j, extra, terminate, func(o Outcome, p float64) {
 		out, proc, done = o, p, true
 	})
 	eng.Run()

@@ -1,0 +1,162 @@
+package sched
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file serializes Metrics for offline analysis: JSON for tooling and
+// a flat, line-oriented CSV for spreadsheets and plotting scripts. Both
+// formats round-trip (ReadMetricsJSON / ReadMetricsCSV), and both are
+// deterministic: identical metrics produce byte-identical output.
+
+// WriteJSON serializes the metrics as one JSON document.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(m)
+}
+
+// ReadMetricsJSON parses a document written by WriteJSON.
+func ReadMetricsJSON(r io.Reader) (*Metrics, error) {
+	var m Metrics
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("sched: bad metrics JSON: %v", err)
+	}
+	return &m, nil
+}
+
+// metricsCSVHeader tags the CSV metrics format.
+const metricsCSVHeader = "# rtopex-metrics v1"
+
+// counterOrder fixes the export order of the scalar counters.
+var counterOrder = []string{
+	"RecordProcMCS",
+	"FFTSubtasksTotal", "FFTSubtasksMigrated",
+	"DecodeSubtasksTotal", "DecodeSubtasksMigrated",
+	"FFTBatches", "DecodeBatches", "MigrationBatches",
+	"Preemptions", "Recoveries",
+	"TxJobs", "TxMisses",
+}
+
+func (m *Metrics) counters() map[string]*int {
+	return map[string]*int{
+		"RecordProcMCS":          &m.RecordProcMCS,
+		"FFTSubtasksTotal":       &m.FFTSubtasksTotal,
+		"FFTSubtasksMigrated":    &m.FFTSubtasksMigrated,
+		"DecodeSubtasksTotal":    &m.DecodeSubtasksTotal,
+		"DecodeSubtasksMigrated": &m.DecodeSubtasksMigrated,
+		"FFTBatches":             &m.FFTBatches,
+		"DecodeBatches":          &m.DecodeBatches,
+		"MigrationBatches":       &m.MigrationBatches,
+		"Preemptions":            &m.Preemptions,
+		"Recoveries":             &m.Recoveries,
+		"TxJobs":                 &m.TxJobs,
+		"TxMisses":               &m.TxMisses,
+	}
+}
+
+// WriteCSV serializes the metrics as a flat CSV of tagged rows:
+//
+//	scheduler,<name>
+//	bs,<idx>,<jobs>,<ack>,<dropped>,<late>,<decodefail>
+//	counter,<name>,<value>
+//	gap,<µs>         (one row per recorded gap)
+//	proctime,<µs>    (one row per recorded processing time)
+//
+// Floats use Go's shortest round-trippable formatting.
+func (m *Metrics) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, metricsCSVHeader)
+	fmt.Fprintf(bw, "scheduler,%s\n", m.Scheduler)
+	for i, b := range m.PerBS {
+		fmt.Fprintf(bw, "bs,%d,%d,%d,%d,%d,%d\n", i, b.Jobs, b.ACK, b.Dropped, b.Late, b.DecodeFail)
+	}
+	counters := m.counters()
+	for _, name := range counterOrder {
+		fmt.Fprintf(bw, "counter,%s,%d\n", name, *counters[name])
+	}
+	for _, g := range m.Gaps {
+		fmt.Fprintf(bw, "gap,%s\n", strconv.FormatFloat(g, 'g', -1, 64))
+	}
+	for _, p := range m.ProcTimes {
+		fmt.Fprintf(bw, "proctime,%s\n", strconv.FormatFloat(p, 'g', -1, 64))
+	}
+	return bw.Flush()
+}
+
+// ReadMetricsCSV parses a document written by WriteCSV.
+func ReadMetricsCSV(r io.Reader) (*Metrics, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() || strings.TrimSpace(sc.Text()) != metricsCSVHeader {
+		return nil, fmt.Errorf("sched: missing %q header", metricsCSVHeader)
+	}
+	m := &Metrics{}
+	counters := m.counters()
+	line := 1
+	for sc.Scan() {
+		line++
+		fields := strings.Split(strings.TrimSpace(sc.Text()), ",")
+		bad := func() error { return fmt.Errorf("sched: metrics CSV line %d malformed", line) }
+		switch fields[0] {
+		case "scheduler":
+			if len(fields) != 2 {
+				return nil, bad()
+			}
+			m.Scheduler = fields[1]
+		case "bs":
+			if len(fields) != 7 {
+				return nil, bad()
+			}
+			vals := make([]int, 6)
+			for i := range vals {
+				v, err := strconv.Atoi(fields[i+1])
+				if err != nil {
+					return nil, bad()
+				}
+				vals[i] = v
+			}
+			if vals[0] != len(m.PerBS) {
+				return nil, fmt.Errorf("sched: metrics CSV line %d: bs index %d out of order", line, vals[0])
+			}
+			m.PerBS = append(m.PerBS, BSMetrics{
+				Jobs: vals[1], ACK: vals[2], Dropped: vals[3], Late: vals[4], DecodeFail: vals[5],
+			})
+		case "counter":
+			if len(fields) != 3 {
+				return nil, bad()
+			}
+			p, ok := counters[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("sched: metrics CSV line %d: unknown counter %q", line, fields[1])
+			}
+			v, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, bad()
+			}
+			*p = v
+		case "gap", "proctime":
+			if len(fields) != 2 {
+				return nil, bad()
+			}
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, bad()
+			}
+			if fields[0] == "gap" {
+				m.Gaps = append(m.Gaps, v)
+			} else {
+				m.ProcTimes = append(m.ProcTimes, v)
+			}
+		default:
+			return nil, fmt.Errorf("sched: metrics CSV line %d: unknown row tag %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,94 @@
+package sched
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// exportCases are table-driven round-trip inputs: empty, hand-built, and a
+// real simulation run's metrics.
+func exportCases(t *testing.T) map[string]*Metrics {
+	t.Helper()
+	hand := NewMetrics("hand", 2)
+	hand.PerBS[0] = BSMetrics{Jobs: 10, ACK: 7, Dropped: 1, Late: 1, DecodeFail: 1}
+	hand.PerBS[1] = BSMetrics{Jobs: 3, ACK: 3}
+	hand.Gaps = []float64{0, 12.5, 433.0625, 1.0 / 3.0}
+	hand.ProcTimes = []float64{812.0312500001, 900}
+	hand.FFTSubtasksTotal, hand.FFTSubtasksMigrated = 1200, 480
+	hand.DecodeSubtasksTotal, hand.DecodeSubtasksMigrated = 800, 410
+	hand.FFTBatches, hand.DecodeBatches, hand.MigrationBatches = 100, 120, 220
+	hand.Preemptions, hand.Recoveries = 17, 13
+	hand.TxJobs, hand.TxMisses = 40, 2
+
+	run, err := Run(testWorkload(t, 200, 550, 3), NewRTOPEX(2), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	return map[string]*Metrics{
+		"empty": NewMetrics("empty", 1),
+		"hand":  hand,
+		"run":   run,
+	}
+}
+
+func TestMetricsJSONRoundTrip(t *testing.T) {
+	for name, m := range exportCases(t) {
+		var buf bytes.Buffer
+		if err := m.WriteJSON(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := ReadMetricsJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(m, back) {
+			t.Fatalf("%s: JSON round trip mismatch:\n%+v\n%+v", name, m, back)
+		}
+		var buf2 bytes.Buffer
+		if err := m.WriteJSON(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("%s: JSON export not deterministic", name)
+		}
+	}
+}
+
+func TestMetricsCSVRoundTrip(t *testing.T) {
+	for name, m := range exportCases(t) {
+		var buf bytes.Buffer
+		if err := m.WriteCSV(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := ReadMetricsCSV(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// CSV re-serialization must reproduce the bytes exactly; the parsed
+		// struct matches up to nil-vs-empty slices.
+		var buf2 bytes.Buffer
+		if err := back.WriteCSV(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("%s: CSV round trip not byte-identical:\n%s\nvs\n%s", name, buf.String(), buf2.String())
+		}
+	}
+}
+
+func TestMetricsCSVRejectsGarbage(t *testing.T) {
+	for _, doc := range []string{
+		"",
+		"gap,12\n",
+		"# rtopex-metrics v1\nwhat,1\n",
+		"# rtopex-metrics v1\ncounter,NoSuchCounter,3\n",
+		"# rtopex-metrics v1\nbs,1,1,1,0,0,0\n", // index 1 without index 0
+		"# rtopex-metrics v1\ngap,notanumber\n",
+	} {
+		if _, err := ReadMetricsCSV(bytes.NewReader([]byte(doc))); err == nil {
+			t.Fatalf("accepted %q", doc)
+		}
+	}
+}

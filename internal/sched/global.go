@@ -103,8 +103,9 @@ func (g *Global) dispatch(c *gcore, j *Job) {
 	}
 	c.busy = true
 	c.lastBS = j.BS
-	serialExec(g.env.Eng, j, extra, true, func(o Outcome, proc float64) {
+	serialExec(g.env, c.id, j, extra, true, func(o Outcome, proc float64) {
 		g.env.M.Record(j, o, proc)
+		g.env.M.RecordGap(j, o, g.env.Eng.Now())
 		c.busy = false
 		g.drain(c)
 	})

@@ -113,6 +113,17 @@ func (m *Metrics) Record(j *Job, o Outcome, procTime float64) {
 	}
 }
 
+// RecordGap books the unused budget Deadline − finish of a subframe that
+// completed within its deadline (ACK or DecodeFail) — the usable migration
+// window of Fig. 16. Late completions and drops expose no usable window and
+// are excluded, as are downlink (Tx) jobs: the gap CDF is an uplink metric.
+func (m *Metrics) RecordGap(j *Job, o Outcome, finish float64) {
+	if j.Tx || (o != OutcomeACK && o != OutcomeDecodeFail) {
+		return
+	}
+	m.Gaps = append(m.Gaps, j.Deadline-finish)
+}
+
 // Jobs returns the total number of completed-or-dropped subframes.
 func (m *Metrics) Jobs() int {
 	n := 0

@@ -69,15 +69,9 @@ func (p *Partitioned) OnArrival(j *Job) {
 
 func (p *Partitioned) start(c *pcore, j *Job) {
 	c.busy = true
-	serialExec(p.env.Eng, j, 0, false, func(o Outcome, proc float64) {
+	serialExec(p.env, c.id, j, 0, false, func(o Outcome, proc float64) {
 		p.env.M.Record(j, o, proc)
-		if o != OutcomeDropped {
-			gap := j.Deadline - p.env.Eng.Now()
-			if gap < 0 {
-				gap = 0
-			}
-			p.env.M.Gaps = append(p.env.M.Gaps, gap)
-		}
+		p.env.M.RecordGap(j, o, p.env.Eng.Now())
 		c.busy = false
 		if len(c.pending) > 0 {
 			next := c.pending[0]

@@ -1,6 +1,11 @@
 package sched
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+
+	"rtopex/internal/trace"
+)
 
 // PRAN is the comparator modeled on PRAN (Wu et al., HotNets 2014, Table 2
 // row 1): compute resources are a *dynamic* shared pool and processing is
@@ -100,6 +105,7 @@ func (p *PRAN) tryStart(j *Job) bool {
 	w := p.plannedWidth(j, now)
 	if w == 0 {
 		// The plan says it cannot fit at any width: drop up front.
+		p.env.emit(-1, j, trace.EvDrop, "plan")
 		p.env.M.Record(j, OutcomeDropped, -1)
 		return true
 	}
@@ -116,6 +122,9 @@ func (p *PRAN) tryStart(j *Job) bool {
 			}
 		}
 	}
+	if p.env.Trace != nil {
+		p.env.emit(claimed[0], j, trace.EvStart, fmt.Sprintf("w=%d", w))
+	}
 	// Execute with the ACTUAL decode time over the planned width; the
 	// plan is never revised at runtime.
 	actual := p.span(j, w, p.actualDecodeWithJitter(j))
@@ -127,6 +136,7 @@ func (p *PRAN) tryStart(j *Job) bool {
 	case !j.Decodable:
 		out = OutcomeDecodeFail
 	}
+	p.env.emitAt(finish, claimed[0], j, trace.EvFinish, outcomeDetail(out))
 	p.env.Eng.At(finish, func() {
 		p.env.M.Record(j, out, actual)
 		for _, c := range claimed {

@@ -1,6 +1,11 @@
 package sched
 
-import "math"
+import (
+	"fmt"
+	"math"
+
+	"rtopex/internal/trace"
+)
 
 // RTOPEX is the paper's contribution (§3.2): a partitioned schedule
 // underneath, plus opportunistic migration of parallelizable subtasks (FFT
@@ -56,6 +61,8 @@ type rcore struct {
 // job running elsewhere.
 type migBatch struct {
 	host        *rcore
+	owner       *Job // the job whose subtasks the batch carries
+	decode      bool // decode batch (else FFT)
 	count       int
 	tp          float64
 	start       float64
@@ -112,6 +119,7 @@ func (r *RTOPEX) OnArrival(j *Job) {
 		// state 3 in Fig. 12).
 		c.batch.preemptedAt = r.env.Eng.Now()
 		r.env.M.Preemptions++
+		r.env.emit(c.id, c.batch.owner, trace.EvMigPreempt, "")
 		c.batch = nil
 	}
 	r.startJob(c, j)
@@ -121,6 +129,7 @@ func (r *RTOPEX) startJob(c *rcore, j *Job) {
 	c.running = true
 	c.everUsed = true
 	now := r.env.Eng.Now()
+	r.env.emit(c.id, j, trace.EvStart, "")
 
 	// Jitter strike phase: same per-job placement rule as serialExec so
 	// workloads are comparable across schedulers.
@@ -131,11 +140,13 @@ func (r *RTOPEX) startJob(c *rcore, j *Job) {
 
 // phaseFFT runs the FFT task, migrating subtasks if enabled.
 func (r *RTOPEX) phaseFFT(c *rcore, j *Job, start, now float64, strike int) {
+	r.env.emit(c.id, j, trace.EvPhase, "fft")
 	r.env.M.FFTSubtasksTotal += j.FFTSubtasks
 	local, batches := r.planTask(c, j, now, j.FFTSubtasks, j.FFTSubtaskUS, r.MigrateFFT, false)
 	localTime := float64(local) * j.FFTSubtaskUS
 	if now+localTime > j.Deadline {
 		r.abandon(batches, now)
+		r.env.emit(c.id, j, trace.EvDrop, "fft")
 		r.finishJob(c, j, OutcomeDropped, -1, now)
 		return
 	}
@@ -152,9 +163,11 @@ func (r *RTOPEX) phaseFFT(c *rcore, j *Job, start, now float64, strike int) {
 // phaseDemod runs the (serial) demod task.
 func (r *RTOPEX) phaseDemod(c *rcore, j *Job, start, now float64, strike int) {
 	if now+j.Tasks.Demod > j.Deadline {
+		r.env.emit(c.id, j, trace.EvDrop, "demod")
 		r.finishJob(c, j, OutcomeDropped, -1, now)
 		return
 	}
+	r.env.emit(c.id, j, trace.EvPhase, "demod")
 	actual := j.Tasks.Demod
 	if strike == 1 {
 		actual = math.Max(0, actual+j.JitterUS)
@@ -164,11 +177,13 @@ func (r *RTOPEX) phaseDemod(c *rcore, j *Job, start, now float64, strike int) {
 
 // phaseDecode runs the decode task, migrating code blocks if enabled.
 func (r *RTOPEX) phaseDecode(c *rcore, j *Job, start, now float64, strike int) {
+	r.env.emit(c.id, j, trace.EvPhase, "decode")
 	r.env.M.DecodeSubtasksTotal += j.DecodeSubtasks
 	local, batches := r.planTask(c, j, now, j.DecodeSubtasks, j.DecodeSubtaskUS, r.MigrateDecode, true)
 	localTime := float64(local) * j.DecodeSubtaskUS
 	if now+localTime > j.Deadline {
 		r.abandon(batches, now)
+		r.env.emit(c.id, j, trace.EvDrop, "decode")
 		r.finishJob(c, j, OutcomeDropped, -1, now)
 		return
 	}
@@ -196,6 +211,11 @@ func (r *RTOPEX) phaseDecode(c *rcore, j *Job, start, now float64, strike int) {
 
 func (r *RTOPEX) finishJob(c *rcore, j *Job, out Outcome, proc float64, at float64) {
 	r.env.M.Record(j, out, proc)
+	r.env.M.RecordGap(j, out, at)
+	if out != OutcomeDropped {
+		// Drops already emitted EvDrop with the failing phase.
+		r.env.emitAt(at, c.id, j, trace.EvFinish, outcomeDetail(out))
+	}
 	c.running = false
 	c.lastFree = at
 	if len(c.pending) > 0 {
@@ -237,7 +257,7 @@ func (r *RTOPEX) planTask(c *rcore, j *Job, now float64, subtasks int, tp float6
 		if n <= 0 {
 			continue
 		}
-		b := &migBatch{host: hosts[i], count: n, tp: tp, start: now, preemptedAt: -1}
+		b := &migBatch{host: hosts[i], owner: j, decode: decode, count: n, tp: tp, start: now, preemptedAt: -1}
 		hosts[i].batch = b
 		local -= n
 		batches = append(batches, b)
@@ -247,12 +267,16 @@ func (r *RTOPEX) planTask(c *rcore, j *Job, now float64, subtasks int, tp float6
 		} else {
 			r.env.M.FFTBatches++
 		}
+		if r.env.Trace != nil {
+			r.env.emit(b.host.id, j, trace.EvMigPlan, fmt.Sprintf("%s n=%d", taskName(decode), n))
+		}
 		// Natural completion releases the host (state 2 → state 1).
 		end := r.batchEnd(b)
 		r.env.Eng.At(end, func() {
 			if b.host.batch == b && b.preemptedAt < 0 {
 				b.host.batch = nil
 				b.host.lastFree = r.env.Eng.Now()
+				r.env.emit(b.host.id, b.owner, trace.EvMigComplete, "")
 			}
 		})
 	}
@@ -301,10 +325,18 @@ func (r *RTOPEX) join(localFinish, tp float64, batches []*migBatch) float64 {
 			if unfinished > 0 {
 				recovery += float64(unfinished) * tp
 				r.env.M.Recoveries++
+				if r.env.Trace != nil {
+					r.env.emitAt(localFinish, b.host.id, b.owner, trace.EvMigRecompute,
+						fmt.Sprintf("n=%d preempted", unfinished))
+				}
+			} else {
+				// Preempted after every subtask finished: results usable.
+				r.env.emitAt(localFinish, b.host.id, b.owner, trace.EvMigConsume, "")
 			}
 		default:
 			end := r.batchEnd(b)
 			if end <= localFinish {
+				r.env.emitAt(localFinish, b.host.id, b.owner, trace.EvMigConsume, "")
 				break // result ready
 			}
 			// Batch still running: recompute or wait, whichever is
@@ -315,23 +347,43 @@ func (r *RTOPEX) join(localFinish, tp float64, batches []*migBatch) float64 {
 			if r.NoWait || recompute < wait {
 				recovery += recompute
 				r.env.M.Recoveries++
+				if r.env.Trace != nil {
+					r.env.emitAt(localFinish, b.host.id, b.owner, trace.EvMigRecompute,
+						fmt.Sprintf("n=%d slow", unfinished))
+				}
 				// Host abandons the rest of the batch immediately.
 				if b.host.batch == b {
 					b.host.batch = nil
 					b.host.lastFree = localFinish
 				}
-			} else if end > finish {
-				finish = end
+			} else {
+				if r.env.Trace != nil {
+					r.env.emitAt(localFinish, b.host.id, b.owner, trace.EvMigWait,
+						fmt.Sprintf("%.3gus", wait))
+				}
+				if end > finish {
+					finish = end
+				}
 			}
 		}
 	}
 	return finish + recovery
 }
 
-// abandon cancels planned batches when the owner drops the job.
+// abandon cancels planned batches when the owner drops the job, reversing
+// the migration counters planTask booked: an abandoned batch never ran on
+// behalf of a completed subframe, so counting it would inflate the
+// migration fractions of Fig. 16 with work that was thrown away.
 func (r *RTOPEX) abandon(batches []*migBatch, now float64) {
 	for _, b := range batches {
 		b.released = true
+		r.env.M.MigrationBatches--
+		if b.decode {
+			r.env.M.DecodeBatches--
+		} else {
+			r.env.M.FFTBatches--
+		}
+		r.env.emitAt(now, b.host.id, b.owner, trace.EvMigAbandon, "")
 		if b.host.batch == b && b.preemptedAt < 0 {
 			b.host.batch = nil
 			b.host.lastFree = now
@@ -365,6 +417,14 @@ func (r *RTOPEX) predictedNextPreemption(k *rcore, now float64) float64 {
 		return math.Inf(1)
 	}
 	return t
+}
+
+// taskName labels a batch's task type for the trace.
+func taskName(decode bool) string {
+	if decode {
+		return "decode"
+	}
+	return "fft"
 }
 
 func migratedCount(batches []*migBatch) int {

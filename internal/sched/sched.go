@@ -276,6 +276,23 @@ type Env struct {
 	ExpectedRTT2 float64
 	// SubframesPerBS bounds arrival prediction.
 	SubframesPerBS int
+	// Trace, when non-nil, receives one event per scheduler decision.
+	// Emit sites guard on the nil check so a disabled run builds no events.
+	Trace trace.Tracer
+}
+
+// emit records one trace event at the current engine time.
+func (e *Env) emit(core int, j *Job, kind trace.Kind, detail string) {
+	e.emitAt(e.Eng.Now(), core, j, kind, detail)
+}
+
+// emitAt records one trace event at an explicit time (used for events whose
+// effective time is computed rather than the current clock).
+func (e *Env) emitAt(t float64, core int, j *Job, kind trace.Kind, detail string) {
+	if e.Trace == nil {
+		return
+	}
+	e.Trace.Emit(trace.Event{Time: t, Core: core, BS: j.BS, Subframe: j.Index, Event: kind, Detail: detail})
 }
 
 // Scheduler is a C-RAN subframe scheduler under simulation.
@@ -293,33 +310,72 @@ type Scheduler interface {
 // Run simulates one workload under one scheduler on the given core count
 // and returns the collected metrics.
 func Run(w *Workload, s Scheduler, cores int) (*Metrics, error) {
-	return RunWithMetricsSetup(w, s, cores, nil)
+	return RunConfigured(w, s, RunConfig{Cores: cores})
 }
 
 // RunWithMetricsSetup is Run with a hook that configures the metrics
 // collector (e.g. RecordProcMCS) before any event fires.
 func RunWithMetricsSetup(w *Workload, s Scheduler, cores int, setup func(*Metrics)) (*Metrics, error) {
-	if cores < 1 {
+	return RunConfigured(w, s, RunConfig{Cores: cores, Setup: setup})
+}
+
+// RunTraced is Run with an event tracer attached: every scheduler decision
+// (arrivals, starts, phases, drops, finishes, migration-batch lifecycle) is
+// emitted into tr.
+func RunTraced(w *Workload, s Scheduler, cores int, tr trace.Tracer) (*Metrics, error) {
+	return RunConfigured(w, s, RunConfig{Cores: cores, Tracer: tr})
+}
+
+// RunConfig bundles the optional knobs of a simulation run.
+type RunConfig struct {
+	Cores int
+	// Setup configures the metrics collector before any event fires.
+	Setup func(*Metrics)
+	// Tracer, when non-nil, receives scheduler decision events.
+	Tracer trace.Tracer
+	// EngineHook, when non-nil, observes the discrete-event engine itself
+	// (event scheduling and execution).
+	EngineHook platform.Hook
+}
+
+// RunConfigured is the fully general run entry point.
+func RunConfigured(w *Workload, s Scheduler, rc RunConfig) (*Metrics, error) {
+	if rc.Cores < 1 {
 		return nil, fmt.Errorf("sched: need at least one core")
 	}
 	eng := platform.New()
+	eng.SetHook(rc.EngineHook)
 	m := NewMetrics(s.Name(), w.Cfg.Basestations)
-	if setup != nil {
-		setup(m)
+	if rc.Setup != nil {
+		rc.Setup(m)
 	}
 	env := &Env{
 		Eng:            eng,
 		M:              m,
-		Cores:          cores,
+		Cores:          rc.Cores,
 		RNG:            stats.NewRNG(w.Cfg.Seed ^ 0x5eed5eed5eed5eed),
 		ExpectedRTT2:   w.Cfg.ExpectedRTT2US,
 		SubframesPerBS: w.Cfg.Subframes,
+		Trace:          rc.Tracer,
 	}
 	s.Attach(env)
 	for bs := range w.Jobs {
 		for j := range w.Jobs[bs] {
 			job := &w.Jobs[bs][j]
-			eng.At(job.Arrival, func() { s.OnArrival(job) })
+			if env.Trace == nil {
+				// Keep the untraced arrival closure minimal: this loop body
+				// allocates once per job and dominates run setup.
+				eng.At(job.Arrival, func() { s.OnArrival(job) })
+				continue
+			}
+			eng.At(job.Arrival, func() {
+				detail := ""
+				if job.Tx {
+					detail = "tx"
+				}
+				env.emit(-1, job, trace.EvArrive, detail)
+				s.OnArrival(job)
+			})
 		}
 	}
 	eng.Run()

@@ -133,8 +133,9 @@ func (s *SemiPartitioned) nextOwnArrival(k *spcore, now float64) float64 {
 
 func (s *SemiPartitioned) start(c *spcore, j *Job, extra float64) {
 	c.busy = true
-	serialExec(s.env.Eng, j, extra, false, func(o Outcome, proc float64) {
+	serialExec(s.env, c.id, j, extra, false, func(o Outcome, proc float64) {
 		s.env.M.Record(j, o, proc)
+		s.env.M.RecordGap(j, o, s.env.Eng.Now())
 		c.busy = false
 		if len(c.pending) > 0 {
 			next := c.pending[0]

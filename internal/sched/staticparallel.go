@@ -1,6 +1,10 @@
 package sched
 
-import "fmt"
+import (
+	"fmt"
+
+	"rtopex/internal/trace"
+)
 
 // StaticParallel is the BigStation/WiBench-style comparator of Table 2: the
 // baseband chain is statically parallelized, with every subframe's
@@ -75,6 +79,9 @@ func (s *StaticParallel) start(g *spGroup, j *Job) {
 	g.busy = true
 	now := s.env.Eng.Now()
 	k := s.CoresPerBS
+	// The group's lead core stands in for the whole fan-out in the trace.
+	lead := j.BS * k
+	s.env.emit(lead, j, trace.EvStart, "")
 
 	span := func(serial float64, subtasks int) float64 {
 		width := k
@@ -105,10 +112,15 @@ func (s *StaticParallel) start(g *spGroup, j *Job) {
 	t := now
 	out := OutcomeACK
 	var proc float64 = -1
-	for _, step := range []float64{fft, demod, decode} {
+	dropPhase := ""
+	for i, step := range []float64{fft, demod, decode} {
 		if t+step > j.Deadline {
 			out = OutcomeDropped
+			dropPhase = [...]string{"fft", "demod", "decode"}[i]
 			break
+		}
+		if s.env.Trace != nil {
+			s.env.emitAt(t, lead, j, trace.EvPhase, [...]string{"fft", "demod", "decode"}[i])
 		}
 		t += step
 	}
@@ -124,6 +136,9 @@ func (s *StaticParallel) start(g *spGroup, j *Job) {
 	end := t
 	if out == OutcomeDropped {
 		end = t // dropped at the failing boundary
+		s.env.emitAt(end, lead, j, trace.EvDrop, dropPhase)
+	} else {
+		s.env.emitAt(end, lead, j, trace.EvFinish, outcomeDetail(out))
 	}
 	s.env.Eng.At(end, func() {
 		s.env.M.Record(j, out, proc)
