@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build test vet race fmt-check bench trace-demo
+.PHONY: ci build test vet race fmt-check bench trace-demo sweep-check baselines
 
-ci: vet build race fmt-check
+ci: vet build race fmt-check sweep-check
 
 build:
 	$(GO) build ./...
@@ -30,3 +30,17 @@ bench:
 # per-core timeline plus migration-state tallies.
 trace-demo:
 	$(GO) run ./cmd/rtoptrace -run -subframes 1000
+
+# sweep-check is the regression gate: a quick parallel sweep of every
+# deterministic experiment, diffed cell-by-cell against the checked-in
+# golden baselines. Any drift fails the build.
+sweep-check:
+	$(GO) run ./cmd/rtopex -all -quick -parallel -skip-measured \
+		-out /tmp/rtopex-sweep-check.jsonl \
+		-baseline testdata/baselines/quick.jsonl >/dev/null
+
+# baselines regenerates the golden stores after an intentional behavior
+# change. Review the diff before committing.
+baselines:
+	$(GO) run ./cmd/rtopex -all -quick -parallel -skip-measured \
+		-out testdata/baselines/quick.jsonl >/dev/null

@@ -5,9 +5,12 @@
 //	rtopex -list
 //	rtopex -exp fig15 [-subframes 30000] [-samples 1000000] [-seed 7] [-quick]
 //	rtopex -all [-quick]
+//	rtopex -all -quick -parallel [-out sweep.jsonl] [-resume]
+//	rtopex -all -quick -parallel -skip-measured -baseline testdata/baselines/quick.jsonl
 //
 // Each experiment prints an aligned text table with notes tying the output
-// back to the paper's claims. Runs are deterministic for a given seed.
+// back to the paper's claims. Runs are deterministic for a given seed; a
+// parallel sweep produces byte-identical artifact records to a serial one.
 package main
 
 import (
@@ -29,12 +32,27 @@ func main() {
 		seed      = flag.Uint64("seed", 0, "random seed (default fixed)")
 		quick     = flag.Bool("quick", false, "shrink scales ~10x for a fast run")
 		format    = flag.String("format", "text", "output format: text or csv")
+
+		// Sweep-engine flags. Any of them routes the run through the sweep
+		// orchestrator (worker pool, artifact store, baseline gate).
+		parallel = flag.Bool("parallel", false, "run experiments on a worker pool (default workers = NumCPU)")
+		workers  = flag.Int("workers", 0, "worker-pool size for -parallel (default NumCPU)")
+		out      = flag.String("out", "", "stream artifact records to this JSON-lines store")
+		resume   = flag.Bool("resume", false, "skip experiments whose config hash already has a record in -out")
+		baseline = flag.String("baseline", "", "compare results against this baseline store; exit 1 on drift")
+		replicas = flag.Int("replicas", 0, "run each experiment this many times under distinct derived seeds")
+		timeout  = flag.Duration("timeout", 0, "per-experiment timeout for sweep runs (0 = none)")
+		skipMeas = flag.Bool("skip-measured", false, "exclude wall-clock-dependent experiments (fig4)")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, id := range rtopex.Experiments() {
-			fmt.Println(id)
+		for _, s := range rtopex.ExperimentSpecs() {
+			tag := ""
+			if s.Measured {
+				tag = "  (measured)"
+			}
+			fmt.Printf("%-12s %s%s\n", s.ID, s.Title, tag)
 		}
 		return
 	}
@@ -49,7 +67,7 @@ func main() {
 	var ids []string
 	switch {
 	case *all:
-		ids = rtopex.Experiments()
+		// Empty means the whole registry to the sweep engine.
 	case *exp != "":
 		ids = []string{*exp}
 	default:
@@ -58,6 +76,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	sweepMode := *parallel || *out != "" || *resume || *baseline != "" ||
+		*replicas > 0 || *timeout > 0 || *skipMeas
+	if sweepMode {
+		os.Exit(runSweep(ids, opts, sweepFlags{
+			parallel: *parallel, workers: *workers, out: *out, resume: *resume,
+			baseline: *baseline, replicas: *replicas, timeout: *timeout,
+			skipMeasured: *skipMeas, format: *format,
+		}))
+	}
+
+	if *all {
+		ids = rtopex.Experiments()
+	}
 	for _, id := range ids {
 		start := time.Now()
 		tb, err := rtopex.RunExperiment(id, opts)
@@ -65,13 +96,96 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rtopex: %v\n", err)
 			os.Exit(1)
 		}
-		switch *format {
-		case "csv":
-			fmt.Print(tb.CSV())
-			fmt.Println()
-		default:
-			fmt.Print(tb.String())
+		printTable(tb, *format)
+		if *format != "csv" {
 			fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
 		}
 	}
+}
+
+func printTable(tb *rtopex.ExperimentTable, format string) {
+	switch format {
+	case "csv":
+		fmt.Print(tb.CSV())
+		fmt.Println()
+	default:
+		fmt.Print(tb.String())
+	}
+}
+
+type sweepFlags struct {
+	parallel     bool
+	workers      int
+	out          string
+	resume       bool
+	baseline     string
+	replicas     int
+	timeout      time.Duration
+	skipMeasured bool
+	format       string
+}
+
+// runSweep drives the sweep engine and returns the process exit code.
+func runSweep(ids []string, opts rtopex.ExperimentOptions, f sweepFlags) int {
+	workers := f.workers
+	if !f.parallel && workers <= 0 {
+		workers = 1 // sweep-store flags without -parallel: serial semantics
+	}
+	res, err := rtopex.RunSweep(rtopex.SweepConfig{
+		IDs:          ids,
+		Workers:      workers,
+		Options:      opts,
+		Replicas:     f.replicas,
+		Timeout:      f.timeout,
+		SkipMeasured: f.skipMeasured,
+		StorePath:    f.out,
+		Resume:       f.resume,
+		Progress:     os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtopex: sweep: %v\n", err)
+		return 1
+	}
+
+	// Render in deterministic (shard, replica) order regardless of which
+	// worker finished first.
+	records := res.SortedRecords()
+	for _, r := range records {
+		if f.format != "csv" && r.Replica > 0 {
+			fmt.Printf("== %s replica %d ==\n", r.Experiment, r.Replica)
+		}
+		printTable(r.Table, f.format)
+		if f.format != "csv" {
+			fmt.Println()
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "sweep: %d ran, %d reused, %d failed in %.1fs (busy %.1fs, speedup %.2fx)\n",
+		res.Ran, res.Reused, len(res.Failures), res.Wall.Seconds(), res.Busy.Seconds(), res.Speedup())
+	for _, fail := range res.Failures {
+		fmt.Fprintf(os.Stderr, "sweep: FAILED %s: %s\n", fail.Unit.Spec.ID, fail.Err)
+	}
+
+	code := 0
+	if len(res.Failures) > 0 {
+		code = 1
+	}
+	if f.baseline != "" {
+		base, err := rtopex.ReadSweepStore(f.baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtopex: baseline: %v\n", err)
+			return 1
+		}
+		drifts := rtopex.CompareSweeps(base, records, rtopex.SweepCompareOptions{})
+		if len(drifts) > 0 {
+			fmt.Fprintf(os.Stderr, "sweep: %d drift(s) from baseline %s:\n", len(drifts), f.baseline)
+			for _, d := range drifts {
+				fmt.Fprintf(os.Stderr, "  %s\n", d)
+			}
+			code = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "sweep: matches baseline %s (%d records compared)\n", f.baseline, len(base))
+		}
+	}
+	return code
 }

@@ -11,6 +11,7 @@
 //	rtoptrace -in trace.json [-from 0] [-to 20000] [-res 200]
 //	rtoptrace -in trace.json -job 2:17
 //	rtoptrace -in trace.json -misses 5
+//	rtoptrace -in trace.json -chrome trace-chrome.json
 //
 // -run simulates RT-OPEX on the paper's 4-basestation workload with a
 // jittery transport (early arrivals trigger batch preemptions), exports the
@@ -48,6 +49,7 @@ func main() {
 		res       = flag.Float64("res", 0, "µs per timeline column (0 = window/100)")
 		job       = flag.String("job", "", "print the event chain of one subframe, as bs:index")
 		misses    = flag.Int("misses", 0, "explain the first N missed subframes")
+		chrome    = flag.String("chrome", "", "also export the trace as Chrome trace_event JSON (chrome://tracing, Perfetto)")
 	)
 	flag.Parse()
 
@@ -73,6 +75,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rtoptrace: specify -run or -in <trace.json>")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *chrome != "" {
+		if err := writeTo(*chrome, log.WriteChromeTrace); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote Chrome trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", *chrome)
 	}
 
 	if *job != "" {

@@ -15,7 +15,7 @@ import (
 )
 
 func init() {
-	register("fig4", "Task execution times on one vs two cores (measured, Go PHY)", fig4)
+	registerMeasured("fig4", "Task execution times on one vs two cores (measured, Go PHY)", fig4)
 	register("fig18", "Local vs migrated task processing times", fig18)
 }
 

@@ -135,17 +135,55 @@ func (o Options) seed() uint64 {
 	return o.Seed
 }
 
+// ResolvedOptions is the machine-readable form of Options after all
+// defaulting and Quick-mode clamping: the exact scales an experiment run
+// will use. It is what sweep artifact stores key on, so its JSON encoding
+// is part of the artifact schema (see internal/sweep/README.md).
+type ResolvedOptions struct {
+	Subframes int    `json:"subframes"`
+	Samples   int    `json:"samples"`
+	Seed      uint64 `json:"seed"`
+	Quick     bool   `json:"quick,omitempty"`
+}
+
+// Resolve applies defaults and Quick clamping, yielding the effective
+// configuration of a run with these options.
+func (o Options) Resolve() ResolvedOptions {
+	return ResolvedOptions{
+		Subframes: o.subframes(),
+		Samples:   o.samples(),
+		Seed:      o.seed(),
+		Quick:     o.Quick,
+	}
+}
+
+// Options converts back to runnable Options. Resolve∘Options is the
+// identity on resolved values, so a stored configuration replays exactly.
+func (r ResolvedOptions) Options() Options {
+	return Options{Subframes: r.Subframes, Samples: r.Samples, Seed: r.Seed, Quick: r.Quick}
+}
+
 // Experiment is a registered, runnable reproduction unit.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(Options) (*Table, error)
+	// Measured marks experiments whose output depends on wall-clock
+	// measurement of this machine (fig4 times the real Go PHY): their
+	// tables are not reproducible bit-for-bit and are exempt from the
+	// sweep determinism guarantee and baseline comparison.
+	Measured bool
+	Run      func(Options) (*Table, error)
 }
 
 var registry = map[string]Experiment{}
 
 func register(id, title string, run func(Options) (*Table, error)) {
 	registry[id] = Experiment{ID: id, Title: title, Run: run}
+}
+
+// registerMeasured registers a wall-clock-dependent experiment.
+func registerMeasured(id, title string, run func(Options) (*Table, error)) {
+	registry[id] = Experiment{ID: id, Title: title, Measured: true, Run: run}
 }
 
 // IDs lists all registered experiment ids in sorted order.
@@ -156,6 +194,24 @@ func IDs() []string {
 	}
 	sort.Strings(ids)
 	return ids
+}
+
+// Spec is the machine-readable registry entry of one experiment.
+type Spec struct {
+	ID       string `json:"id"`
+	Title    string `json:"title"`
+	Measured bool   `json:"measured,omitempty"`
+}
+
+// Specs lists the registry in sorted id order — the sweep engine's shard
+// order, so an experiment's shard index is its position in this list.
+func Specs() []Spec {
+	specs := make([]Spec, 0, len(registry))
+	for _, id := range IDs() {
+		e := registry[id]
+		specs = append(specs, Spec{ID: e.ID, Title: e.Title, Measured: e.Measured})
+	}
+	return specs
 }
 
 // Lookup finds an experiment by id.

@@ -49,6 +49,13 @@ type Config struct {
 	// the transmit path.
 	Pool int
 	Seed uint64
+	// Tracer, when non-nil, receives the run's event stream (arrivals,
+	// starts, per-stage phases, drops, finishes) with times in microseconds
+	// since the feeder epoch. The sink is wrapped with trace.Locked because
+	// worker threads emit concurrently; a nil Tracer costs nothing — every
+	// emit site guards on a single nil check and the per-stage pipeline path
+	// is only taken when tracing.
+	Tracer trace.Tracer
 }
 
 func (c Config) dilation() float64 {
@@ -166,6 +173,23 @@ func Run(cfg Config) (*Stats, error) {
 		queues[i] = make(chan job, 4)
 	}
 
+	tr := cfg.Tracer
+	if tr != nil && !tr.Enabled() {
+		tr = nil
+	}
+	if tr != nil {
+		tr = trace.Locked(tr)
+	}
+	// epoch anchors every event time; the feeder reuses it as its clock so
+	// traced times and release times share one origin.
+	epoch := time.Now()
+	emit := func(at time.Time, core, bs, sf int, kind trace.Kind, detail string) {
+		tr.Emit(trace.Event{
+			Time: at.Sub(epoch).Seconds() * 1e6,
+			Core: core, BS: bs, Subframe: sf, Event: kind, Detail: detail,
+		})
+	}
+
 	st := &Stats{}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -189,8 +213,29 @@ func Run(cfg Config) (*Stats, error) {
 					rxByPool[mcsAt[bs][j.idx]] = rx
 				}
 				start := time.Now()
-				res, err := rx.Process(pb.iq, pb.n0)
+				var res phy.Result
+				var err error
+				if tr != nil {
+					emit(start, core, bs, j.idx, trace.EvStart, "")
+					// Traced runs walk the pipeline stage by stage so each
+					// task boundary gets an EvPhase; the untraced path keeps
+					// the one-call Process fast path.
+					var stages []phy.Stage
+					stages, err = rx.Pipeline(pb.iq, pb.n0)
+					for _, stg := range stages {
+						emit(time.Now(), core, bs, j.idx, trace.EvPhase, string(stg.Name))
+						for _, sub := range stg.Subtasks {
+							sub()
+						}
+					}
+					if err == nil {
+						res = rx.Result()
+					}
+				} else {
+					res, err = rx.Process(pb.iq, pb.n0)
+				}
 				done := time.Now()
+				outcome := "ack"
 				mu.Lock()
 				st.Subframes++
 				st.ProcUS = append(st.ProcUS, done.Sub(start).Seconds()*1e6)
@@ -198,6 +243,7 @@ func Run(cfg Config) (*Stats, error) {
 				switch {
 				case err != nil || !res.OK:
 					st.DecodeFail++
+					outcome = "decodefail"
 					if done.After(deadline) {
 						st.Missed++
 						st.LateUS = append(st.LateUS, done.Sub(deadline).Seconds()*1e6)
@@ -205,10 +251,14 @@ func Run(cfg Config) (*Stats, error) {
 				case done.After(deadline):
 					st.Missed++
 					st.LateUS = append(st.LateUS, done.Sub(deadline).Seconds()*1e6)
+					outcome = "late"
 				default:
 					st.Decoded++
 				}
 				mu.Unlock()
+				if tr != nil {
+					emit(done, core, bs, j.idx, trace.EvFinish, outcome)
+				}
 			}
 		}()
 	}
@@ -216,14 +266,16 @@ func Run(cfg Config) (*Stats, error) {
 	// Feeder: the transport component, releasing one subframe per
 	// basestation every dilated millisecond.
 	runtime.LockOSThread()
-	start := time.Now()
 	for j := 0; j < cfg.Subframes; j++ {
-		release := start.Add(time.Duration(j) * period)
+		release := epoch.Add(time.Duration(j) * period)
 		if d := time.Until(release); d > 0 {
 			time.Sleep(d)
 		}
 		for bs := 0; bs < cfg.Basestations; bs++ {
 			core := bs*cfg.CoresPerBS + j%cfg.CoresPerBS
+			if tr != nil {
+				emit(release, -1, bs, j, trace.EvArrive, "")
+			}
 			select {
 			case queues[core] <- job{bs: bs, idx: j, release: release}:
 			default:
@@ -233,6 +285,9 @@ func Run(cfg Config) (*Stats, error) {
 				st.Subframes++
 				st.Dropped++
 				mu.Unlock()
+				if tr != nil {
+					emit(release, core, bs, j, trace.EvDrop, "queue-full")
+				}
 			}
 		}
 	}

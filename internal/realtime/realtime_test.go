@@ -84,6 +84,58 @@ func TestLiveRunTraceDriven(t *testing.T) {
 	}
 }
 
+func TestLiveRunTraced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live run is wall-clock bound")
+	}
+	ring := trace.NewRing(0)
+	st, err := Run(Config{
+		Basestations: 1,
+		CoresPerBS:   2,
+		Subframes:    6,
+		Antennas:     1,
+		SNRdB:        30,
+		MCS:          0,
+		Dilation:     30,
+		Seed:         3,
+		Tracer:       ring,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := ring.Events()
+	counts := map[trace.Kind]int{}
+	phases := map[string]int{}
+	for _, e := range events {
+		if e.Time < 0 {
+			t.Fatalf("event before epoch: %+v", e)
+		}
+		counts[e.Event]++
+		if e.Event == trace.EvPhase {
+			phases[e.Detail]++
+		}
+	}
+	if counts[trace.EvArrive] != 6 {
+		t.Fatalf("%d arrivals for 6 subframes", counts[trace.EvArrive])
+	}
+	// Every processed subframe gets a start, its pipeline phases, and a
+	// finish; drops (queue-full) get neither.
+	processed := st.Subframes - st.Dropped
+	if counts[trace.EvStart] != processed || counts[trace.EvFinish] != processed {
+		t.Fatalf("start=%d finish=%d for %d processed subframes",
+			counts[trace.EvStart], counts[trace.EvFinish], processed)
+	}
+	if counts[trace.EvDrop] != st.Dropped {
+		t.Fatalf("%d drop events for %d drops", counts[trace.EvDrop], st.Dropped)
+	}
+	for _, task := range []string{"fft", "chest", "demod", "decode"} {
+		if phases[task] != processed {
+			t.Fatalf("phase %q emitted %d times for %d processed subframes",
+				task, phases[task], processed)
+		}
+	}
+}
+
 func TestStatsMissRate(t *testing.T) {
 	s := &Stats{Subframes: 10, Missed: 2, Dropped: 1}
 	if s.MissRate() != 0.3 {

@@ -28,8 +28,14 @@ func ReadMetricsJSON(r io.Reader) (*Metrics, error) {
 	return &m, nil
 }
 
-// metricsCSVHeader tags the CSV metrics format.
-const metricsCSVHeader = "# rtopex-metrics v1"
+// The CSV metrics format is versioned by its header line. v2 added the
+// `overrun` rows (Metrics.Overruns); WriteCSV always emits the current
+// version, ReadMetricsCSV accepts every version listed here.
+const (
+	metricsCSVHeaderV1 = "# rtopex-metrics v1"
+	metricsCSVHeaderV2 = "# rtopex-metrics v2"
+	metricsCSVHeader   = metricsCSVHeaderV2
+)
 
 // counterOrder fixes the export order of the scalar counters.
 var counterOrder = []string{
@@ -64,6 +70,7 @@ func (m *Metrics) counters() map[string]*int {
 //	bs,<idx>,<jobs>,<ack>,<dropped>,<late>,<decodefail>
 //	counter,<name>,<value>
 //	gap,<µs>         (one row per recorded gap)
+//	overrun,<µs>     (one row per recorded late overshoot; v2+)
 //	proctime,<µs>    (one row per recorded processing time)
 //
 // Floats use Go's shortest round-trippable formatting.
@@ -81,17 +88,30 @@ func (m *Metrics) WriteCSV(w io.Writer) error {
 	for _, g := range m.Gaps {
 		fmt.Fprintf(bw, "gap,%s\n", strconv.FormatFloat(g, 'g', -1, 64))
 	}
+	for _, v := range m.Overruns {
+		fmt.Fprintf(bw, "overrun,%s\n", strconv.FormatFloat(v, 'g', -1, 64))
+	}
 	for _, p := range m.ProcTimes {
 		fmt.Fprintf(bw, "proctime,%s\n", strconv.FormatFloat(p, 'g', -1, 64))
 	}
 	return bw.Flush()
 }
 
-// ReadMetricsCSV parses a document written by WriteCSV.
+// ReadMetricsCSV parses a document written by WriteCSV, current or any
+// prior version (v1 documents simply have no overrun rows).
 func ReadMetricsCSV(r io.Reader) (*Metrics, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	if !sc.Scan() || strings.TrimSpace(sc.Text()) != metricsCSVHeader {
+	var version int
+	if sc.Scan() {
+		switch strings.TrimSpace(sc.Text()) {
+		case metricsCSVHeaderV1:
+			version = 1
+		case metricsCSVHeaderV2:
+			version = 2
+		}
+	}
+	if version == 0 {
 		return nil, fmt.Errorf("sched: missing %q header", metricsCSVHeader)
 	}
 	m := &Metrics{}
@@ -138,7 +158,10 @@ func ReadMetricsCSV(r io.Reader) (*Metrics, error) {
 				return nil, bad()
 			}
 			*p = v
-		case "gap", "proctime":
+		case "gap", "overrun", "proctime":
+			if fields[0] == "overrun" && version < 2 {
+				return nil, fmt.Errorf("sched: metrics CSV line %d: overrun rows need v2, header says v%d", line, version)
+			}
 			if len(fields) != 2 {
 				return nil, bad()
 			}
@@ -146,9 +169,12 @@ func ReadMetricsCSV(r io.Reader) (*Metrics, error) {
 			if err != nil {
 				return nil, bad()
 			}
-			if fields[0] == "gap" {
+			switch fields[0] {
+			case "gap":
 				m.Gaps = append(m.Gaps, v)
-			} else {
+			case "overrun":
+				m.Overruns = append(m.Overruns, v)
+			default:
 				m.ProcTimes = append(m.ProcTimes, v)
 			}
 		default:

@@ -14,6 +14,7 @@ func exportCases(t *testing.T) map[string]*Metrics {
 	hand.PerBS[0] = BSMetrics{Jobs: 10, ACK: 7, Dropped: 1, Late: 1, DecodeFail: 1}
 	hand.PerBS[1] = BSMetrics{Jobs: 3, ACK: 3}
 	hand.Gaps = []float64{0, 12.5, 433.0625, 1.0 / 3.0}
+	hand.Overruns = []float64{48.25, 1.0 / 7.0, 2000}
 	hand.ProcTimes = []float64{812.0312500001, 900}
 	hand.FFTSubtasksTotal, hand.FFTSubtasksMigrated = 1200, 480
 	hand.DecodeSubtasksTotal, hand.DecodeSubtasksMigrated = 800, 410
@@ -82,13 +83,88 @@ func TestMetricsCSVRejectsGarbage(t *testing.T) {
 	for _, doc := range []string{
 		"",
 		"gap,12\n",
-		"# rtopex-metrics v1\nwhat,1\n",
-		"# rtopex-metrics v1\ncounter,NoSuchCounter,3\n",
-		"# rtopex-metrics v1\nbs,1,1,1,0,0,0\n", // index 1 without index 0
-		"# rtopex-metrics v1\ngap,notanumber\n",
+		"# rtopex-metrics v2\nwhat,1\n",
+		"# rtopex-metrics v2\ncounter,NoSuchCounter,3\n",
+		"# rtopex-metrics v2\nbs,1,1,1,0,0,0\n", // index 1 without index 0
+		"# rtopex-metrics v2\ngap,notanumber\n",
+		"# rtopex-metrics v2\noverrun,notanumber\n",
+		"# rtopex-metrics v1\noverrun,3\n", // overrun rows postdate v1
+		"# rtopex-metrics v3\nscheduler,x\n",
 	} {
 		if _, err := ReadMetricsCSV(bytes.NewReader([]byte(doc))); err == nil {
 			t.Fatalf("accepted %q", doc)
 		}
+	}
+}
+
+// TestMetricsCSVReadsV1 pins backward compatibility: documents written by
+// the v1 exporter (no overrun rows) still parse.
+func TestMetricsCSVReadsV1(t *testing.T) {
+	doc := "# rtopex-metrics v1\n" +
+		"scheduler,partitioned\n" +
+		"bs,0,10,8,1,1,0\n" +
+		"counter,RecordProcMCS,-1\n" +
+		"gap,125.5\n" +
+		"proctime,812\n"
+	m, err := ReadMetricsCSV(bytes.NewReader([]byte(doc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Scheduler != "partitioned" || len(m.Gaps) != 1 || m.Gaps[0] != 125.5 ||
+		len(m.ProcTimes) != 1 || len(m.Overruns) != 0 {
+		t.Fatalf("v1 parse: %+v", m)
+	}
+	// Re-exporting upgrades the document to the current version.
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("# rtopex-metrics v2\n")) {
+		t.Fatalf("re-export kept old header:\n%s", buf.String())
+	}
+}
+
+// TestOverrunsRecorded pins that every gap-recording scheduler books
+// exactly one positive Overrun per late completion, without polluting Gaps.
+func TestOverrunsRecorded(t *testing.T) {
+	// High fixed transport delay produces lates for the partitioned-family
+	// schedulers; the jittery transport exercises RT-OPEX's recovery paths.
+	fixed := testWorkload(t, 2000, 700, 2)
+	jittery := jitteryWorkload(t, 2000, 1)
+	totalLate := 0
+	for _, tc := range []struct {
+		name string
+		w    *Workload
+		s    Scheduler
+	}{
+		{"partitioned", fixed, NewPartitioned(2)},
+		{"global", fixed, NewGlobal()},
+		{"rt-opex", jittery, NewRTOPEX(2)},
+		{"semi-partitioned", fixed, NewSemiPartitioned(2)},
+	} {
+		m, err := Run(tc.w, tc.s, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		late := m.totalLate()
+		totalLate += late
+		if len(m.Overruns) != late {
+			t.Fatalf("%s: %d overruns for %d late completions", tc.name, len(m.Overruns), late)
+		}
+		for _, v := range m.Overruns {
+			// The global scheduler terminates lates exactly at the deadline,
+			// so zero overshoot is legitimate there; negative never is.
+			if v < 0 || (v == 0 && tc.name != "global") {
+				t.Fatalf("%s: bad overrun %v", tc.name, v)
+			}
+		}
+		for _, g := range m.Gaps {
+			if g < 0 {
+				t.Fatalf("%s: negative gap %v leaked into Gaps", tc.name, g)
+			}
+		}
+	}
+	if totalLate == 0 {
+		t.Fatal("no scheduler produced a late completion; overrun path untested")
 	}
 }

@@ -47,6 +47,15 @@ type Metrics struct {
 	// as RTT/2 eats into Tmax.
 	Gaps []float64
 
+	// Overruns record, for every subframe that completed *after* its
+	// deadline (Late), the overshoot finish − Deadline — the
+	// late-completion distribution, kept separate from Gaps (which would
+	// otherwise need zero-clamping; see the ROADMAP note). Schedulers that
+	// terminate late jobs exactly at the deadline (global) record a zero
+	// overshoot. Drops record nothing (they never finish) and downlink (Tx)
+	// jobs are excluded, as with Gaps.
+	Overruns []float64
+
 	// ProcTimes are realized processing durations (start → completion) of
 	// jobs that ran to completion.
 	ProcTimes []float64
@@ -113,15 +122,22 @@ func (m *Metrics) Record(j *Job, o Outcome, procTime float64) {
 	}
 }
 
-// RecordGap books the unused budget Deadline − finish of a subframe that
-// completed within its deadline (ACK or DecodeFail) — the usable migration
-// window of Fig. 16. Late completions and drops expose no usable window and
-// are excluded, as are downlink (Tx) jobs: the gap CDF is an uplink metric.
+// RecordGap books a subframe's completion against the deadline. ACK and
+// DecodeFail completions record their unused budget Deadline − finish into
+// Gaps — the usable migration window of Fig. 16. Late completions record
+// their overshoot finish − Deadline into Overruns. Drops record nothing
+// (no finish exists), and downlink (Tx) jobs are excluded: both series are
+// uplink metrics.
 func (m *Metrics) RecordGap(j *Job, o Outcome, finish float64) {
-	if j.Tx || (o != OutcomeACK && o != OutcomeDecodeFail) {
+	if j.Tx {
 		return
 	}
-	m.Gaps = append(m.Gaps, j.Deadline-finish)
+	switch o {
+	case OutcomeACK, OutcomeDecodeFail:
+		m.Gaps = append(m.Gaps, j.Deadline-finish)
+	case OutcomeLate:
+		m.Overruns = append(m.Overruns, finish-j.Deadline)
+	}
 }
 
 // Jobs returns the total number of completed-or-dropped subframes.

@@ -1,0 +1,171 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Tolerance bounds the allowed numeric drift of one cell: a candidate
+// value v passes against baseline b when |v−b| ≤ Abs + Rel·max(|v|,|b|).
+// The zero Tolerance demands exact equality — the right default for a
+// deterministic simulation, where any drift means the code changed
+// behavior.
+type Tolerance struct {
+	Rel float64
+	Abs float64
+}
+
+func (t Tolerance) ok(base, got float64) bool {
+	if base == got { // covers ±Inf and exact matches
+		return true
+	}
+	if math.IsNaN(base) && math.IsNaN(got) {
+		return true
+	}
+	return math.Abs(base-got) <= t.Abs+t.Rel*math.Max(math.Abs(base), math.Abs(got))
+}
+
+// CompareOptions configure the regression gate.
+type CompareOptions struct {
+	// Default applies to every numeric cell without a more specific entry.
+	Default Tolerance
+	// PerColumn overrides by "<experiment>/<column>" first, then by bare
+	// "<column>".
+	PerColumn map[string]Tolerance
+	// IncludeMeasured also diffs wall-clock-dependent artifacts (normally
+	// skipped: their values are not reproducible).
+	IncludeMeasured bool
+	// IgnoreNotes skips the free-text notes (which may embed derived
+	// numbers) and gates on table cells only.
+	IgnoreNotes bool
+}
+
+func (o CompareOptions) tolerance(experiment, column string) Tolerance {
+	if t, ok := o.PerColumn[experiment+"/"+column]; ok {
+		return t
+	}
+	if t, ok := o.PerColumn[column]; ok {
+		return t
+	}
+	return o.Default
+}
+
+// Drift is one detected divergence between a baseline and a fresh sweep.
+type Drift struct {
+	Experiment string
+	// Replica distinguishes drifts when a sweep ran replicas.
+	Replica int
+	// Where locates the divergence: "missing", "config", "shape",
+	// "cell <row>/<column>", or "note <i>".
+	Where    string
+	Baseline string
+	Fresh    string
+}
+
+func (d Drift) String() string {
+	id := d.Experiment
+	if d.Replica > 0 {
+		id = fmt.Sprintf("%s#%d", id, d.Replica)
+	}
+	return fmt.Sprintf("%s: %s: baseline %q, got %q", id, d.Where, d.Baseline, d.Fresh)
+}
+
+// Compare diffs a fresh sweep against a baseline store and returns every
+// drift. Records are matched by (experiment, replica); fresh experiments
+// with no baseline are ignored (adding an experiment is not a regression),
+// but baseline records missing from the fresh sweep are drifts — the gate
+// must notice a silently skipped experiment.
+func Compare(baseline, fresh []*Record, o CompareOptions) []Drift {
+	type rkey struct {
+		id      string
+		replica int
+	}
+	freshBy := make(map[rkey]*Record, len(fresh))
+	for _, r := range fresh {
+		freshBy[rkey{r.Experiment, r.Replica}] = r
+	}
+	var drifts []Drift
+	for _, b := range baseline {
+		if b.Measured && !o.IncludeMeasured {
+			continue
+		}
+		f, ok := freshBy[rkey{b.Experiment, b.Replica}]
+		if !ok {
+			drifts = append(drifts, Drift{Experiment: b.Experiment, Replica: b.Replica,
+				Where: "missing", Baseline: b.Key, Fresh: "(no record)"})
+			continue
+		}
+		drifts = append(drifts, compareRecord(b, f, o)...)
+	}
+	return drifts
+}
+
+func compareRecord(b, f *Record, o CompareOptions) []Drift {
+	d := func(where, base, got string) Drift {
+		return Drift{Experiment: b.Experiment, Replica: b.Replica, Where: where, Baseline: base, Fresh: got}
+	}
+	// A key mismatch means the configurations differ (seed, scale or
+	// schema): cell values are incomparable, so report the config drift
+	// alone.
+	if b.Key != f.Key {
+		return []Drift{d("config", fmt.Sprintf("%s %+v", b.Key, b.Config), fmt.Sprintf("%s %+v", f.Key, f.Config))}
+	}
+	bt, ft := b.Table, f.Table
+	if bt == nil || ft == nil {
+		if bt == ft {
+			return nil
+		}
+		return []Drift{d("shape", fmt.Sprintf("table=%v", bt != nil), fmt.Sprintf("table=%v", ft != nil))}
+	}
+	if fmt.Sprint(bt.Columns) != fmt.Sprint(ft.Columns) {
+		return []Drift{d("shape", fmt.Sprint(bt.Columns), fmt.Sprint(ft.Columns))}
+	}
+	if len(bt.Rows) != len(ft.Rows) {
+		return []Drift{d("shape", fmt.Sprintf("%d rows", len(bt.Rows)), fmt.Sprintf("%d rows", len(ft.Rows)))}
+	}
+	var drifts []Drift
+	for i := range bt.Rows {
+		if len(bt.Rows[i]) != len(ft.Rows[i]) {
+			drifts = append(drifts, d(fmt.Sprintf("shape row %d", i),
+				fmt.Sprintf("%d cells", len(bt.Rows[i])), fmt.Sprintf("%d cells", len(ft.Rows[i]))))
+			continue
+		}
+		for c := range bt.Rows[i] {
+			col := fmt.Sprintf("col%d", c)
+			if c < len(bt.Columns) {
+				col = bt.Columns[c]
+			}
+			if !cellEqual(bt.Rows[i][c], ft.Rows[i][c], o.tolerance(b.Experiment, col)) {
+				drifts = append(drifts, d(fmt.Sprintf("cell %d/%s", i, col), bt.Rows[i][c], ft.Rows[i][c]))
+			}
+		}
+	}
+	if !o.IgnoreNotes {
+		if len(bt.Notes) != len(ft.Notes) {
+			drifts = append(drifts, d("note count",
+				fmt.Sprint(len(bt.Notes)), fmt.Sprint(len(ft.Notes))))
+		} else {
+			for i := range bt.Notes {
+				if bt.Notes[i] != ft.Notes[i] {
+					drifts = append(drifts, d(fmt.Sprintf("note %d", i), bt.Notes[i], ft.Notes[i]))
+				}
+			}
+		}
+	}
+	return drifts
+}
+
+// cellEqual compares one cell: numerically under the tolerance when both
+// sides parse as floats, exactly otherwise.
+func cellEqual(base, got string, tol Tolerance) bool {
+	if base == got {
+		return true
+	}
+	bv, berr := strconv.ParseFloat(base, 64)
+	gv, gerr := strconv.ParseFloat(got, 64)
+	if berr != nil || gerr != nil {
+		return false
+	}
+	return tol.ok(bv, gv)
+}

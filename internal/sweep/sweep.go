@@ -1,0 +1,362 @@
+// Package sweep is the experiment-sweep engine: it shards the harness
+// registry into (experiment × replica) units, runs them on a bounded
+// worker pool, and streams each finished table into a JSON-lines artifact
+// store keyed by a content hash of the unit's resolved configuration.
+//
+// Determinism is the core contract. Every unit derives its seed from a
+// stable hash of (root seed, experiment id, shard index), never from
+// worker identity or completion order, so a parallel sweep produces
+// byte-identical artifact records to a serial one — the store differs only
+// in line order. That makes three things cheap:
+//
+//   - resume: a re-run skips every unit whose key already has a record
+//     (checkpointing falls out of the store being content-addressed);
+//   - regression gating: Compare diffs a fresh sweep against checked-in
+//     golden baselines under per-column tolerances;
+//   - fault isolation: a unit that panics or exceeds its timeout degrades
+//     the sweep (reported as a Failure) instead of killing it.
+package sweep
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"io/fs"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"rtopex/internal/harness"
+)
+
+// Config describes one sweep.
+type Config struct {
+	// IDs are the experiment ids to run; empty means the whole registry.
+	IDs []string
+	// Workers bounds the pool; ≤ 0 means runtime.NumCPU().
+	Workers int
+	// Options are the base scale knobs. Options.Seed (after defaulting) is
+	// the sweep's root seed; each unit replaces it with a derived seed.
+	Options harness.Options
+	// Replicas runs every experiment this many times under distinct
+	// derived seeds (≤ 0 means 1) — the (experiment × config) grid.
+	Replicas int
+	// Timeout bounds one unit's run; ≤ 0 disables. A timed-out unit is
+	// reported as a Failure and its goroutine abandoned (experiments are
+	// pure compute with no cancellation points).
+	Timeout time.Duration
+	// SkipMeasured excludes wall-clock-dependent experiments (fig4), whose
+	// artifacts can never be byte-identical across runs.
+	SkipMeasured bool
+	// StorePath, when non-empty, streams records into a JSON-lines store.
+	StorePath string
+	// Resume skips units whose key already has a record in StorePath.
+	Resume bool
+	// Progress, when non-nil, receives one line per unit completion.
+	Progress io.Writer
+
+	// runFn substitutes the experiment runner in tests; nil means
+	// harness.Run.
+	runFn func(id string, o harness.Options) (*harness.Table, error)
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.NumCPU()
+}
+
+func (c Config) replicas() int {
+	if c.Replicas > 0 {
+		return c.Replicas
+	}
+	return 1
+}
+
+func (c Config) run(id string, o harness.Options) (*harness.Table, error) {
+	if c.runFn != nil {
+		return c.runFn(id, o)
+	}
+	return harness.Run(id, o)
+}
+
+// DeriveSeed computes a unit's seed from the sweep's root seed, the
+// experiment id and the unit's shard index. The hash (FNV-1a 64) is stable
+// across processes, platforms and Go versions, and independent of worker
+// scheduling — the root of the parallel-equals-serial guarantee. A zero
+// result is mapped to 1 because harness.Options treats seed 0 as "use the
+// default".
+func DeriveSeed(root uint64, id string, shard int) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], root)
+	h.Write(b[:])
+	io.WriteString(h, id)
+	binary.LittleEndian.PutUint64(b[:], uint64(shard))
+	h.Write(b[:])
+	s := h.Sum64()
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// Unit is one schedulable shard: one experiment under one resolved
+// configuration.
+type Unit struct {
+	Spec    harness.Spec
+	Shard   int // position in the full sorted registry (stable across subsets)
+	Replica int
+	Options harness.Options
+	Key     string
+}
+
+// Units expands a config into its unit list, in deterministic (registry,
+// replica) order. Unknown ids are an error.
+func Units(cfg Config) ([]Unit, error) {
+	specs := harness.Specs()
+	shardOf := make(map[string]int, len(specs))
+	specOf := make(map[string]harness.Spec, len(specs))
+	for i, s := range specs {
+		shardOf[s.ID] = i
+		specOf[s.ID] = s
+	}
+	ids := cfg.IDs
+	if len(ids) == 0 {
+		ids = harness.IDs()
+	} else {
+		ids = append([]string(nil), ids...)
+		sort.Strings(ids)
+	}
+	root := cfg.Options.Resolve().Seed
+	nShards := len(specs)
+	var units []Unit
+	for _, id := range ids {
+		spec, ok := specOf[id]
+		if !ok {
+			return nil, fmt.Errorf("sweep: unknown experiment %q", id)
+		}
+		if cfg.SkipMeasured && spec.Measured {
+			continue
+		}
+		for rep := 0; rep < cfg.replicas(); rep++ {
+			// Replicas extend the shard index past the registry so every
+			// (experiment, replica) pair hashes to a distinct seed.
+			shard := shardOf[id] + rep*nShards
+			o := cfg.Options
+			o.Seed = DeriveSeed(root, id, shard)
+			units = append(units, Unit{
+				Spec:    spec,
+				Shard:   shard,
+				Replica: rep,
+				Options: o,
+				Key:     Key(id, o.Resolve()),
+			})
+		}
+	}
+	return units, nil
+}
+
+// Failure reports one unit that did not produce an artifact.
+type Failure struct {
+	Unit     Unit
+	Err      string
+	TimedOut bool
+}
+
+// Result summarizes one sweep.
+type Result struct {
+	// Records holds every artifact available after the sweep: freshly
+	// computed ones plus, on resume, the reused ones — everything a
+	// baseline comparison needs. Order is completion order.
+	Records []*Record
+	// Reused counts units satisfied from the store without recomputation.
+	Reused int
+	// Ran counts units actually executed.
+	Ran int
+	// Failures lists units that panicked, errored or timed out.
+	Failures []Failure
+	// Wall is the sweep's elapsed time; Busy sums per-unit durations. On a
+	// multicore machine Busy/Wall measures the worker-pool speedup.
+	Wall, Busy time.Duration
+}
+
+// Speedup is the parallel efficiency ratio Busy/Wall.
+func (r *Result) Speedup() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return r.Busy.Seconds() / r.Wall.Seconds()
+}
+
+// SortedRecords returns the records in deterministic (shard, replica)
+// order, for rendering and for order-insensitive store comparison.
+func (r *Result) SortedRecords() []*Record {
+	out := append([]*Record(nil), r.Records...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Shard != out[j].Shard {
+			return out[i].Shard < out[j].Shard
+		}
+		return out[i].Replica < out[j].Replica
+	})
+	return out
+}
+
+// Run executes the sweep.
+func Run(cfg Config) (*Result, error) {
+	units, err := Units(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	var store *Store
+	existing := map[string]*Record{}
+	if cfg.StorePath != "" {
+		var prior []*Record
+		if cfg.Resume {
+			recs, rerr := ReadStore(cfg.StorePath)
+			if rerr != nil && !isNotExist(rerr) {
+				return nil, rerr
+			}
+			prior = recs
+			existing = IndexByKey(recs)
+		}
+		store, err = CreateStore(cfg.StorePath)
+		if err != nil {
+			return nil, err
+		}
+		defer store.Close()
+		// Rewrite the surviving records so a store truncated by a mid-write
+		// kill is repaired (the partial trailing line is dropped) and fresh
+		// appends start on a clean line boundary.
+		for _, r := range prior {
+			if err := store.Append(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Partition into reused and pending before launching workers, so the
+	// progress denominator is stable.
+	var pending []Unit
+	for _, u := range units {
+		if rec, ok := existing[u.Key]; ok && cfg.Resume {
+			res.Records = append(res.Records, rec)
+			res.Reused++
+			continue
+		}
+		pending = append(pending, u)
+	}
+
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		done     int
+		firstErr error
+	)
+	start := time.Now()
+	jobs := make(chan Unit)
+	progress := func(u Unit, status string, d time.Duration) {
+		if cfg.Progress == nil {
+			return
+		}
+		done++
+		fmt.Fprintf(cfg.Progress, "[%*d/%d] %-22s %-8s %6.2fs\n",
+			len(fmt.Sprint(len(pending))), done, len(pending), u.Spec.ID, status, d.Seconds())
+	}
+	for w := 0; w < cfg.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range jobs {
+				t0 := time.Now()
+				rec, fail := runUnit(cfg, u)
+				d := time.Since(t0)
+				mu.Lock()
+				res.Ran++
+				res.Busy += d
+				switch {
+				case fail != nil:
+					res.Failures = append(res.Failures, *fail)
+					status := "FAIL"
+					if fail.TimedOut {
+						status = "TIMEOUT"
+					}
+					progress(u, status, d)
+				default:
+					res.Records = append(res.Records, rec)
+					if store != nil {
+						if err := store.Append(rec); err != nil && firstErr == nil {
+							firstErr = err
+						}
+					}
+					progress(u, "ok", d)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, u := range pending {
+		jobs <- u
+	}
+	close(jobs)
+	wg.Wait()
+	res.Wall = time.Since(start)
+	if firstErr != nil {
+		return res, firstErr
+	}
+	return res, nil
+}
+
+// runUnit executes one unit with panic recovery and an optional timeout.
+func runUnit(cfg Config, u Unit) (*Record, *Failure) {
+	type outcome struct {
+		tb  *harness.Table
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- outcome{err: fmt.Errorf("panic: %v", p)}
+			}
+		}()
+		tb, err := cfg.run(u.Spec.ID, u.Options)
+		ch <- outcome{tb: tb, err: err}
+	}()
+	var timeout <-chan time.Time
+	if cfg.Timeout > 0 {
+		t := time.NewTimer(cfg.Timeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			return nil, &Failure{Unit: u, Err: o.err.Error()}
+		}
+		return &Record{
+			Schema:     SchemaVersion,
+			Key:        u.Key,
+			Experiment: u.Spec.ID,
+			Shard:      u.Shard,
+			Replica:    u.Replica,
+			Config:     u.Options.Resolve(),
+			Measured:   u.Spec.Measured,
+			Table:      o.tb,
+		}, nil
+	case <-timeout:
+		return nil, &Failure{
+			Unit:     u,
+			Err:      fmt.Sprintf("no result within %s (shard abandoned)", cfg.Timeout),
+			TimedOut: true,
+		}
+	}
+}
+
+func isNotExist(err error) bool { return errors.Is(err, fs.ErrNotExist) }

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// chromeLog is a small hand-built trace exercising every export path: a
+// full job with phases, a drop, a hosted batch that gets preempted, the
+// owner-side resolution instants, and a job left open at the end of the
+// trace (truncated run).
+func chromeLog() *EventLog {
+	return &EventLog{
+		Scheduler: "rt-opex",
+		Cores:     3,
+		Events: []Event{
+			{Time: 0, Core: -1, BS: 0, Subframe: 0, Event: EvArrive},
+			{Time: 10, Core: 0, BS: 0, Subframe: 0, Event: EvStart},
+			{Time: 10, Core: 0, BS: 0, Subframe: 0, Event: EvPhase, Detail: "fft"},
+			{Time: 40, Core: 0, BS: 0, Subframe: 0, Event: EvPhase, Detail: "decode"},
+			{Time: 55, Core: 2, BS: 0, Subframe: 0, Event: EvMigPlan, Detail: "decode n=3"},
+			{Time: 80, Core: 2, BS: 0, Subframe: 0, Event: EvMigPreempt},
+			{Time: 90, Core: 0, BS: 0, Subframe: 0, Event: EvMigRecompute, Detail: "n=2 t=12"},
+			{Time: 120, Core: 0, BS: 0, Subframe: 0, Event: EvFinish, Detail: "ack"},
+			{Time: 1000, Core: -1, BS: 1, Subframe: 1, Event: EvArrive},
+			{Time: 1005, Core: 1, BS: 1, Subframe: 1, Event: EvStart},
+			{Time: 1020, Core: 1, BS: 1, Subframe: 1, Event: EvDrop, Detail: "decode"},
+			{Time: 2000, Core: 2, BS: 0, Subframe: 2, Event: EvStart},
+			{Time: 2001, Core: 2, BS: 0, Subframe: 2, Event: EvPhase, Detail: "fft"},
+		},
+	}
+}
+
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := chromeLog().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome export drifted from golden file:\n%s", buf.String())
+	}
+}
+
+func TestWriteChromeTraceWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := chromeLog().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			TID   int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit %q", doc.DisplayTimeUnit)
+	}
+	// Every B on a lane must be closed by a matching E: viewers reject
+	// unbalanced stacks.
+	depth := map[int]int{}
+	for _, e := range doc.TraceEvents {
+		switch e.Phase {
+		case "B":
+			depth[e.TID]++
+		case "E":
+			depth[e.TID]--
+			if depth[e.TID] < 0 {
+				t.Fatalf("unbalanced E on tid %d at %v", e.TID, e.TS)
+			}
+		}
+	}
+	for tid, d := range depth {
+		if d != 0 {
+			t.Fatalf("tid %d left %d slices open", tid, d)
+		}
+	}
+	// The truncated-run job (core 2, started at t=2000 with no finish) must
+	// have been closed at the trace end.
+	found := false
+	for _, e := range doc.TraceEvents {
+		if e.Name == "sf 0:2" && e.Phase == "E" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("truncated job was not closed")
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&EventLog{}).WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("empty export invalid: %s", buf.String())
+	}
+}

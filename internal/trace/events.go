@@ -16,6 +16,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Kind identifies one traced event type.
@@ -175,6 +176,32 @@ func (r *Ring) Reset() {
 }
 
 var _ Tracer = (*Ring)(nil)
+
+// locked serializes access to an underlying sink.
+type locked struct {
+	mu sync.Mutex
+	t  Tracer
+}
+
+// Locked wraps a Tracer so concurrent goroutines may Emit into it safely.
+// The discrete-event simulation emits from a single goroutine and needs no
+// wrapping; the realtime layer's worker threads emit concurrently and must
+// wrap their sink.
+func Locked(t Tracer) Tracer { return &locked{t: t} }
+
+// Enabled implements Tracer.
+func (l *locked) Enabled() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.t.Enabled()
+}
+
+// Emit implements Tracer.
+func (l *locked) Emit(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.t.Emit(e)
+}
 
 // EventLog is the exportable form of one run's trace.
 type EventLog struct {

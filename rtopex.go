@@ -31,6 +31,7 @@ import (
 	"rtopex/internal/model"
 	"rtopex/internal/phy"
 	"rtopex/internal/sched"
+	"rtopex/internal/sweep"
 	"rtopex/internal/trace"
 	"rtopex/internal/transport"
 )
@@ -225,4 +226,40 @@ func Experiments() []string { return harness.IDs() }
 // RunExperiment regenerates one table or figure of the paper.
 func RunExperiment(id string, o ExperimentOptions) (*ExperimentTable, error) {
 	return harness.Run(id, o)
+}
+
+// Sweep orchestration: run the registry on a worker pool with deterministic
+// per-shard seeds, stream artifacts to a JSON-lines store, and gate fresh
+// results against checked-in baselines. See internal/sweep for the
+// determinism contract.
+type (
+	// ExperimentSpec describes one registered experiment.
+	ExperimentSpec = harness.Spec
+	// SweepConfig describes one sweep (ids, workers, scale, store, resume).
+	SweepConfig = sweep.Config
+	// SweepResult summarizes a finished sweep.
+	SweepResult = sweep.Result
+	// SweepRecord is one stored artifact: a table keyed by its config hash.
+	SweepRecord = sweep.Record
+	// SweepCompareOptions configure the baseline regression gate.
+	SweepCompareOptions = sweep.CompareOptions
+	// SweepTolerance bounds allowed numeric drift of one table cell.
+	SweepTolerance = sweep.Tolerance
+	// SweepDrift is one detected baseline divergence.
+	SweepDrift = sweep.Drift
+)
+
+// ExperimentSpecs lists the registry in the sweep engine's shard order.
+func ExperimentSpecs() []ExperimentSpec { return harness.Specs() }
+
+// RunSweep executes a sweep.
+func RunSweep(cfg SweepConfig) (*SweepResult, error) { return sweep.Run(cfg) }
+
+// ReadSweepStore loads a JSON-lines artifact store.
+func ReadSweepStore(path string) ([]*SweepRecord, error) { return sweep.ReadStore(path) }
+
+// CompareSweeps diffs a fresh sweep against a baseline store and returns
+// every drift (empty means the gate passes).
+func CompareSweeps(baseline, fresh []*SweepRecord, o SweepCompareOptions) []SweepDrift {
+	return sweep.Compare(baseline, fresh, o)
 }
