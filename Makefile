@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci build test vet race fmt-check bench trace-demo sweep-check baselines
+.PHONY: ci build test vet race fmt-check bench bench-all trace-demo sweep-check baselines
 
 ci: vet build race fmt-check sweep-check
 
@@ -23,7 +23,16 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# bench tracks the two perf-critical hot paths — the sweep worker pool
+# (shards/s) and the PHY decode chain (µs/subframe) — and archives the
+# parsed results as BENCH_sweep.json so later PRs can diff them.
 bench:
+	{ $(GO) test -bench='BenchmarkSweepWorkerPool' -benchtime=1x -run='^$$' ./internal/sweep; \
+	  $(GO) test -bench='BenchmarkPHYEndToEnd' -benchtime=1x -run='^$$' .; } \
+	| $(GO) run ./cmd/benchjson -out BENCH_sweep.json
+
+# bench-all sweeps every benchmark once (no JSON artifact).
+bench-all:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
 # trace-demo runs a traced 1000-subframe RT-OPEX simulation and renders the

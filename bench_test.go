@@ -134,4 +134,5 @@ func BenchmarkPHYEndToEnd(b *testing.B) {
 			b.Fatal("decode failed")
 		}
 	}
+	b.ReportMetric(b.Elapsed().Seconds()*1e6/float64(b.N), "us/subframe")
 }

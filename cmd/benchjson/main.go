@@ -1,0 +1,60 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document, so benchmark results (shards/s, µs/subframe, ns/op, allocs)
+// can be archived and diffed like any other artifact:
+//
+//	go test -bench 'Sweep' -benchtime 1x ./internal/sweep | benchjson -out BENCH_sweep.json
+//
+// Non-benchmark lines (PASS, ok, goos/goarch headers) pass through to
+// stderr unchanged so the run stays readable in CI logs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"rtopex/internal/benchparse"
+)
+
+func main() {
+	out := flag.String("out", "", "write JSON here (default stdout)")
+	flag.Parse()
+
+	var lines []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		lines = append(lines, line)
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if err := sc.Err(); err != nil {
+		fail(err)
+	}
+
+	doc := benchparse.Parse(lines)
+	if len(doc.Benchmarks) == 0 {
+		fail(fmt.Errorf("no benchmark result lines on stdin"))
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	enc = append(enc, '\n')
+
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(doc.Benchmarks), *out)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}

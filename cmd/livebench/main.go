@@ -19,7 +19,9 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
+	"rtopex/internal/obs"
 	"rtopex/internal/realtime"
 	"rtopex/internal/stats"
 	"rtopex/internal/trace"
@@ -35,8 +37,27 @@ func main() {
 		snr       = flag.Float64("snr", 30, "SNR in dB")
 		dilation  = flag.Float64("dilation", 50, "subframe-clock dilation factor")
 		seed      = flag.Uint64("seed", 1, "random seed")
+		httpAddr  = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060) during the run")
 	)
 	flag.Parse()
+
+	// The live run always carries the observability plane: a registry for
+	// the progress counters and a per-core accountant replaying the event
+	// stream, whether or not -http exposes them. A Go-runtime sampler adds
+	// GC pause and heap series — the jitter sources the caveat below names.
+	reg := obs.NewRegistry()
+	stopSampler := obs.StartRuntimeSampler(reg, time.Second)
+	defer stopSampler()
+	if *httpAddr != "" {
+		bound, stop, err := obs.Serve(*httpAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "livebench: -http: %v\n", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "livebench: observability endpoint on http://%s/ (metrics, vars, pprof)\n", bound)
+	}
+	acct := obs.NewCoreAccountant()
 
 	fmt.Printf("live run: %d BS × %d subframes, %d workers, dilation %.0fx (GOMAXPROCS=%d, NumCPU=%d)\n",
 		*bs, *subframes, *bs**cores, *dilation, runtime.GOMAXPROCS(0), runtime.NumCPU())
@@ -51,6 +72,8 @@ func main() {
 		Profiles:     trace.DefaultProfiles,
 		Dilation:     *dilation,
 		Seed:         *seed,
+		Tracer:       acct,
+		Obs:          reg,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "livebench: %v\n", err)
@@ -69,6 +92,29 @@ func main() {
 		s := stats.Summarize(st.LateUS)
 		fmt.Printf("tardiness of misses (ms): p50=%.1f max=%.1f\n", s.P50/1000, s.Max/1000)
 	}
+
+	// Per-core utilization from the replayed event stream. Idle includes
+	// wait-for-release slack; misses show up as busy fractions above the
+	// 1/CoresPerBS partitioned share.
+	reports := acct.Reports(*bs**cores, 0)
+	acct.Publish(reg, *bs**cores, 0)
+	fmt.Println("\nper-core utilization (busy/migration/idle fractions):")
+	for _, r := range reports {
+		fmt.Printf("  core %2d: busy %.3f  mig %.3f  idle %.3f  (busy %.1f ms)\n",
+			r.Core, r.Busy, r.Migration, r.Idle, r.BusyUS/1000)
+	}
+
+	// Final Go-runtime sample: the GC/heap series the -http endpoint serves.
+	obs.SampleRuntime(reg)
+	if g := reg.Gauge("go_gc_cycles_total"); g.IsSet() {
+		fmt.Printf("\ngo runtime: %d GC cycles, heap %.1f MB live",
+			int64(g.Value()), reg.Gauge("go_heap_objects_bytes").Value()/1e6)
+		if p := reg.Gauge("go_gc_pause_seconds", obs.L("q", "0.99")); p.IsSet() {
+			fmt.Printf(", GC pause p99 %.2f ms", p.Value()*1e3)
+		}
+		fmt.Println()
+	}
+
 	fmt.Println("\ncaveat: Go's GC and scheduler inject milliseconds of jitter; the paper's")
 	fmt.Println("pinned-pthread/low-latency-kernel testbed sees tens of microseconds. See DESIGN.md.")
 }

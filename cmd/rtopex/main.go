@@ -43,8 +43,24 @@ func main() {
 		replicas = flag.Int("replicas", 0, "run each experiment this many times under distinct derived seeds")
 		timeout  = flag.Duration("timeout", 0, "per-experiment timeout for sweep runs (0 = none)")
 		skipMeas = flag.Bool("skip-measured", false, "exclude wall-clock-dependent experiments (fig4)")
+
+		// Observability: opt-in HTTP plane with Prometheus /metrics,
+		// /debug/vars (expvar) and /debug/pprof/ for profiling live runs.
+		httpAddr = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060) for the duration of the run")
 	)
 	flag.Parse()
+
+	var reg *rtopex.ObsRegistry
+	if *httpAddr != "" {
+		reg = rtopex.NewObsRegistry()
+		bound, stop, err := rtopex.ServeObs(*httpAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtopex: -http: %v\n", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "rtopex: observability endpoint on http://%s/ (metrics, vars, pprof)\n", bound)
+	}
 
 	if *list {
 		for _, s := range rtopex.ExperimentSpecs() {
@@ -82,7 +98,7 @@ func main() {
 		os.Exit(runSweep(ids, opts, sweepFlags{
 			parallel: *parallel, workers: *workers, out: *out, resume: *resume,
 			baseline: *baseline, replicas: *replicas, timeout: *timeout,
-			skipMeasured: *skipMeas, format: *format,
+			skipMeasured: *skipMeas, format: *format, obs: reg,
 		}))
 	}
 
@@ -95,6 +111,9 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rtopex: %v\n", err)
 			os.Exit(1)
+		}
+		if reg != nil {
+			rtopex.PublishExperimentTable(reg, tb)
 		}
 		printTable(tb, *format)
 		if *format != "csv" {
@@ -123,6 +142,7 @@ type sweepFlags struct {
 	timeout      time.Duration
 	skipMeasured bool
 	format       string
+	obs          *rtopex.ObsRegistry
 }
 
 // runSweep drives the sweep engine and returns the process exit code.
@@ -141,6 +161,7 @@ func runSweep(ids []string, opts rtopex.ExperimentOptions, f sweepFlags) int {
 		StorePath:    f.out,
 		Resume:       f.resume,
 		Progress:     os.Stderr,
+		Obs:          f.obs,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rtopex: sweep: %v\n", err)
@@ -157,6 +178,17 @@ func runSweep(ids []string, opts rtopex.ExperimentOptions, f sweepFlags) int {
 		printTable(r.Table, f.format)
 		if f.format != "csv" {
 			fmt.Println()
+		}
+	}
+
+	// With replicas, append mean ± 95% CI summary tables so the scatter
+	// across seeds is readable without manual arithmetic.
+	if f.replicas > 1 {
+		for _, tb := range rtopex.AggregateSweepReplicas(records) {
+			printTable(tb, f.format)
+			if f.format != "csv" {
+				fmt.Println()
+			}
 		}
 	}
 

@@ -29,6 +29,7 @@ import (
 	"rtopex/internal/harness"
 	"rtopex/internal/lte"
 	"rtopex/internal/model"
+	"rtopex/internal/obs"
 	"rtopex/internal/sched"
 	"rtopex/internal/stats"
 	"rtopex/internal/trace"
@@ -99,6 +100,8 @@ func main() {
 	renderTimeline(log, *from, *to, *res)
 	fmt.Println()
 	printTallies(log)
+	fmt.Println()
+	printUtilization(log)
 }
 
 func fail(err error) {
@@ -323,6 +326,30 @@ func printTallies(log *trace.EventLog) {
 	fmt.Println()
 	if log.Dropped > 0 {
 		fmt.Printf("note: ring overflow dropped %d early events; tallies cover the tail of the run\n", log.Dropped)
+	}
+}
+
+// printUtilization replays the log through the obs accountant and prints
+// each core's busy/migration/idle split — the numeric complement of the
+// ASCII timeline's '#' and 'm' spans, over the full run rather than one
+// 20 ms window.
+func printUtilization(log *trace.EventLog) {
+	reports := obs.AccountantFromLog(log).Reports(coreCount(log), 0)
+	if len(reports) == 0 {
+		return
+	}
+	fmt.Println("per-core utilization over the full trace:")
+	var busy, mig float64
+	for _, r := range reports {
+		fmt.Printf("  core %2d: busy %.3f  mig %.3f  idle %.3f  (busy %.1f ms, hosted %.1f ms)\n",
+			r.Core, r.Busy, r.Migration, r.Idle, r.BusyUS/1000, r.MigrationUS/1000)
+		busy += r.Busy
+		mig += r.Migration
+	}
+	n := float64(len(reports))
+	fmt.Printf("  mean:    busy %.3f  mig %.3f  idle %.3f\n", busy/n, mig/n, 1-(busy+mig)/n)
+	if log.Dropped > 0 {
+		fmt.Printf("  note: ring overflow dropped %d early events; fractions cover the tail\n", log.Dropped)
 	}
 }
 

@@ -1,0 +1,77 @@
+// Package benchparse turns the text that `go test -bench` prints into a
+// structured document. It understands the standard result-line grammar —
+//
+//	BenchmarkName-8    100    11055194 ns/op    144 B/op    3 allocs/op    361.8 shards/s
+//
+// a name (with the trailing -GOMAXPROCS suffix), an iteration count, then
+// any number of "value unit" metric pairs, including custom metrics added
+// with testing.B.ReportMetric. Everything else (PASS, ok, goos headers) is
+// ignored.
+package benchparse
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one result line.
+type Benchmark struct {
+	// Name is the benchmark name without the -GOMAXPROCS suffix
+	// (sub-benchmarks keep their /slash path).
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix, 1 when absent.
+	Procs int `json:"procs"`
+	// Iters is the iteration count (b.N).
+	Iters int64 `json:"iters"`
+	// Metrics maps unit → value, e.g. "ns/op": 11055194, "shards/s": 361.8.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the whole run.
+type Doc struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Parse extracts every benchmark result line. Lines that do not match the
+// grammar are skipped, so raw `go test` output can be fed in unfiltered.
+func Parse(lines []string) Doc {
+	var doc Doc
+	for _, line := range lines {
+		if b, ok := parseLine(line); ok {
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	return doc
+}
+
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	// Shortest valid line: name, iters, value, unit.
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: f[0], Procs: 1, Metrics: map[string]float64{}}
+	if i := strings.LastIndex(f[0], "-"); i > 0 {
+		if p, err := strconv.Atoi(f[0][i+1:]); err == nil && p > 0 {
+			b.Name, b.Procs = f[0][:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil || iters < 0 {
+		return Benchmark{}, false
+	}
+	b.Iters = iters
+	// Remaining fields come in (value, unit) pairs.
+	rest := f[2:]
+	if len(rest)%2 != 0 {
+		return Benchmark{}, false
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[rest[i+1]] = v
+	}
+	return b, true
+}

@@ -1,0 +1,63 @@
+package benchparse
+
+import "testing"
+
+func TestParseStandardOutput(t *testing.T) {
+	doc := Parse([]string{
+		"goos: linux",
+		"goarch: amd64",
+		"pkg: rtopex/internal/sweep",
+		"BenchmarkSweepWorkerPool-8   \t     100\t  11055194 ns/op\t     144 B/op\t       3 allocs/op\t       361.8 shards/s",
+		"BenchmarkPHYEndToEnd-8       \t       1\t  48211000 ns/op\t   48211 us/subframe",
+		"BenchmarkSchedulerThroughput/rt-opex-8 \t 2 \t 500 ns/op",
+		"PASS",
+		"ok  \trtopex/internal/sweep\t1.23s",
+	})
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkSweepWorkerPool" || b.Procs != 8 || b.Iters != 100 {
+		t.Fatalf("bad header parse: %+v", b)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 11055194, "B/op": 144, "allocs/op": 3, "shards/s": 361.8,
+	} {
+		if got := b.Metrics[unit]; got != want {
+			t.Fatalf("%s = %v, want %v", unit, got, want)
+		}
+	}
+
+	if got := doc.Benchmarks[1].Metrics["us/subframe"]; got != 48211 {
+		t.Fatalf("us/subframe = %v", got)
+	}
+	// Sub-benchmark keeps its slash path; the -8 suffix is still stripped.
+	if doc.Benchmarks[2].Name != "BenchmarkSchedulerThroughput/rt-opex" {
+		t.Fatalf("sub-benchmark name %q", doc.Benchmarks[2].Name)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX-8",                  // no iters
+		"BenchmarkX-8 abc 1 ns/op",      // non-numeric iters
+		"BenchmarkX-8 10 1 ns/op extra", // dangling field
+		"BenchmarkX-8 10 one ns/op",     // non-numeric value
+		"NotABenchmark 10 1 ns/op",
+	} {
+		if doc := Parse([]string{line}); len(doc.Benchmarks) != 0 {
+			t.Fatalf("accepted malformed line %q: %+v", line, doc.Benchmarks)
+		}
+	}
+}
+
+func TestParseNoSuffix(t *testing.T) {
+	doc := Parse([]string{"BenchmarkPlain 5 20 ns/op"})
+	if len(doc.Benchmarks) != 1 {
+		t.Fatal("missed suffix-free line")
+	}
+	if b := doc.Benchmarks[0]; b.Name != "BenchmarkPlain" || b.Procs != 1 {
+		t.Fatalf("bad parse: %+v", b)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"rtopex/internal/obs"
 	"rtopex/internal/platform"
 	"rtopex/internal/sched"
 	"rtopex/internal/trace"
@@ -39,18 +40,35 @@ type RunResult struct {
 	Metrics *sched.Metrics
 	Engine  EngineStats
 	Log     *trace.EventLog
+	// Utilization is the per-core busy/migration/idle accounting derived
+	// from the same event stream the log retains.
+	Utilization []obs.CoreReport
 }
 
 // TracedRun executes one workload under one scheduler with an event ring of
 // the given capacity attached (ringCap ≤ 0 retains every event) and engine
 // instrumentation enabled.
 func TracedRun(w *sched.Workload, s sched.Scheduler, cores, ringCap int) (*RunResult, error) {
+	return TracedRunObserved(w, s, cores, ringCap, nil)
+}
+
+// TracedRunObserved is TracedRun with an optional live registry: the run's
+// trace stream additionally drives a per-core utilization accountant, the
+// engine hook fans out to the registry's event counters, and the finished
+// metrics are published under the scheduler's label. reg may be nil, which
+// skips the registry publishing but still computes Utilization.
+func TracedRunObserved(w *sched.Workload, s sched.Scheduler, cores, ringCap int, reg *obs.Registry) (*RunResult, error) {
 	ring := trace.NewRing(ringCap)
+	acct := obs.NewCoreAccountant()
 	res := &RunResult{}
+	hook := platform.Hooks(&res.Engine)
+	if reg != nil {
+		hook = platform.Hooks(&res.Engine, obs.NewEngineHook(reg))
+	}
 	m, err := sched.RunConfigured(w, s, sched.RunConfig{
 		Cores:      cores,
-		Tracer:     ring,
-		EngineHook: &res.Engine,
+		Tracer:     trace.Tee(ring, acct),
+		EngineHook: hook,
 	})
 	if err != nil {
 		return nil, err
@@ -62,19 +80,25 @@ func TracedRun(w *sched.Workload, s sched.Scheduler, cores, ringCap int) (*RunRe
 		Dropped:   ring.Dropped(),
 		Events:    ring.Events(),
 	}
+	res.Utilization = acct.Reports(cores, res.Engine.EndTimeUS)
+	if reg != nil {
+		sched.PublishMetrics(reg, m)
+		acct.Publish(reg, cores, res.Engine.EndTimeUS)
+	}
 	return res, nil
 }
 
 // metricsDoc is the exported metrics document: run metrics plus engine
-// statistics.
+// statistics and per-core utilization.
 type metricsDoc struct {
-	Metrics *sched.Metrics `json:"metrics"`
-	Engine  EngineStats    `json:"engine"`
+	Metrics     *sched.Metrics   `json:"metrics"`
+	Engine      EngineStats      `json:"engine"`
+	Utilization []obs.CoreReport `json:"utilization,omitempty"`
 }
 
 // WriteMetricsJSON exports the run's metrics and engine statistics.
 func (r *RunResult) WriteMetricsJSON(w io.Writer) error {
-	return json.NewEncoder(w).Encode(metricsDoc{Metrics: r.Metrics, Engine: r.Engine})
+	return json.NewEncoder(w).Encode(metricsDoc{Metrics: r.Metrics, Engine: r.Engine, Utilization: r.Utilization})
 }
 
 // WriteTraceJSON exports the run's event trace.

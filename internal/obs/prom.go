@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file is the Prometheus text-format v0.0.4 exposition writer. It
+// depends only on the standard library: the format is a stable, line-based
+// contract (https://prometheus.io/docs/instrumenting/exposition_formats/),
+// and the writer is pinned by a golden test so any drift in the rendering
+// is caught in CI.
+//
+// Counters and gauges map directly. Histograms are exposed as summaries
+// (quantile series plus _sum and _count): the log-linear buckets are an
+// internal merge representation, while the quantiles are what dashboards
+// and the paper's tail-latency claims consume.
+
+// promQuantiles are the quantile series exposed per histogram.
+var promQuantiles = []float64{0.5, 0.9, 0.99}
+
+// ContentType is the HTTP Content-Type of the exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteProm renders the registry in Prometheus text format v0.0.4. Families
+// are sorted by name and series by canonical label string, so the output
+// for a given registry state is byte-deterministic.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	type flatSeries struct {
+		labelKey string
+		s        *series
+	}
+	type flatFamily struct {
+		name, help string
+		k          kind
+		series     []flatSeries
+	}
+	fams := make([]flatFamily, 0, len(names))
+	for _, name := range names {
+		f := r.fams[name]
+		ff := flatFamily{name: f.name, help: f.help, k: f.k}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			if f.k == gaugeKind && !s.g.IsSet() {
+				continue // match Snapshot: unset gauges are not exposed
+			}
+			ff.series = append(ff.series, flatSeries{labelKey: k, s: s})
+		}
+		fams = append(fams, ff)
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if len(f.series) == 0 {
+			continue
+		}
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		}
+		typ := "untyped"
+		switch f.k {
+		case counterKind:
+			typ = "counter"
+		case gaugeKind:
+			typ = "gauge"
+		case histogramKind:
+			typ = "summary"
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, typ)
+		for _, fs := range f.series {
+			switch f.k {
+			case counterKind:
+				fmt.Fprintf(bw, "%s %d\n", promSeries(f.name, fs.labelKey), fs.s.c.Value())
+			case gaugeKind:
+				fmt.Fprintf(bw, "%s %s\n", promSeries(f.name, fs.labelKey), formatFloat(fs.s.g.Value()))
+			case histogramKind:
+				v := fs.s.h.Value()
+				for _, q := range promQuantiles {
+					fmt.Fprintf(bw, "%s %s\n",
+						promSeries(f.name, appendLabelKey(fs.labelKey, fmt.Sprintf(`quantile="%s"`, formatFloat(q)))),
+						formatFloat(v.Quantile(q)))
+				}
+				fmt.Fprintf(bw, "%s %s\n", promSeries(f.name+"_sum", fs.labelKey), formatFloat(v.Sum))
+				fmt.Fprintf(bw, "%s %d\n", promSeries(f.name+"_count", fs.labelKey), v.Count)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// promSeries renders `name` or `name{labels}`.
+func promSeries(name, labelKey string) string {
+	if labelKey == "" {
+		return name
+	}
+	return name + "{" + labelKey + "}"
+}
+
+// appendLabelKey joins a canonical label string with one extra rendered
+// label pair.
+func appendLabelKey(labelKey, extra string) string {
+	if labelKey == "" {
+		return extra
+	}
+	return labelKey + "," + extra
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry exercising every family kind, labels,
+// escaping, and both set and unset gauges.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.SetHelp("rtopex_sweep_units_done_total", "Sweep units completed.")
+	r.Counter("rtopex_sweep_units_done_total").Add(12)
+	r.SetHelp("rtopex_miss_rate", "Per-experiment deadline miss rate.")
+	r.Gauge("rtopex_miss_rate", L("experiment", "fig15"), L("column", "rt-opex")).Set(0.0125)
+	r.Gauge("rtopex_miss_rate", L("experiment", "fig15"), L("column", "partitioned")).Set(0.31)
+	r.Gauge("rtopex_unset") // never Set: must not be rendered
+	r.SetHelp("rtopex_proc_us", "Per-subframe processing time.")
+	h := r.Histogram("rtopex_proc_us", L("sched", "rt-opex"))
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i * 10))
+	}
+	r.Counter("escaped_total", L("path", `a\b"c`+"\n")).Inc()
+	return r
+}
+
+func TestWritePromGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Prometheus rendering drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWritePromDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := goldenRegistry().WriteProm(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := goldenRegistry().WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two renders of identical registries differ")
+	}
+}
+
+func TestContentType(t *testing.T) {
+	if ContentType != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("ContentType = %q", ContentType)
+	}
+}

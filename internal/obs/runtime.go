@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// runtimeSamples maps runtime/metrics names to the gauge names we expose.
+// Kept small on purpose: livebench is a wall-clock benchmark, and the point
+// is catching GC interference (the README's caveat) while it happens, not
+// mirroring the whole runtime.
+var runtimeSamples = []struct {
+	src, dst string
+	help     string
+}{
+	{"/memory/classes/heap/objects:bytes", "go_heap_objects_bytes", "Bytes of live heap objects."},
+	{"/gc/cycles/total:gc-cycles", "go_gc_cycles_total", "Completed GC cycles."},
+	{"/sched/goroutines:goroutines", "go_goroutines", "Live goroutines."},
+	{"/gc/pauses:seconds", "go_gc_pause_seconds", "Distribution of GC stop-the-world pause times."},
+}
+
+// SampleRuntime reads one round of Go runtime metrics into reg: heap bytes,
+// GC cycles and goroutines as gauges, and the GC pause distribution as
+// p50/p99/max gauges (go_gc_pause_seconds{q="0.5"} …).
+func SampleRuntime(reg *Registry) {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, rs := range runtimeSamples {
+		samples[i].Name = rs.src
+	}
+	metrics.Read(samples)
+	for i, s := range samples {
+		rs := runtimeSamples[i]
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			reg.SetHelp(rs.dst, rs.help)
+			reg.Gauge(rs.dst).Set(float64(s.Value.Uint64()))
+		case metrics.KindFloat64:
+			reg.SetHelp(rs.dst, rs.help)
+			reg.Gauge(rs.dst).Set(s.Value.Float64())
+		case metrics.KindFloat64Histogram:
+			reg.SetHelp(rs.dst, rs.help)
+			h := s.Value.Float64Histogram()
+			for _, q := range []float64{0.5, 0.99} {
+				reg.Gauge(rs.dst, L("q", formatFloat(q))).Set(histQuantile(h, q))
+			}
+		default:
+			// KindBad: metric absent on this Go version — skip.
+		}
+	}
+}
+
+// histQuantile pulls an approximate quantile out of a runtime
+// Float64Histogram (bucket lower-bound convention; ±Inf edges clamped to
+// the neighbouring finite bound).
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > rank {
+			// Bucket i spans [Buckets[i], Buckets[i+1]).
+			lo, hi := h.Buckets[i], h.Buckets[i+1]
+			if lo < -1e300 || lo != lo {
+				lo = hi
+			}
+			if hi > 1e300 || hi != hi {
+				hi = lo
+			}
+			return (lo + hi) / 2
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// StartRuntimeSampler samples the runtime into reg every interval until the
+// returned stop func is called. One immediate sample is taken before the
+// ticker starts, so short runs still report.
+func StartRuntimeSampler(reg *Registry, interval time.Duration) (stop func()) {
+	SampleRuntime(reg)
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				SampleRuntime(reg)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+	}
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Handler returns an http.Handler exposing the registry and the standard Go
+// debug surfaces on an owned mux (net/http/pprof's blank import would
+// register on http.DefaultServeMux, which a library must not touch):
+//
+//	/metrics      Prometheus text format v0.0.4
+//	/debug/vars   expvar JSON (cmdline, memstats, …)
+//	/debug/pprof/ CPU, heap, goroutine, … profiles
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = reg.WriteProm(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "rtopex observability endpoint\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+var expvarOnce sync.Once
+
+// publishExpvar mirrors the registry under the expvar name "rtopex" so
+// /debug/vars carries the same series as /metrics. Guarded by a Once:
+// expvar.Publish panics on duplicate names, and tests (or a retried Serve)
+// may build several registries per process — last registry wins per call.
+func publishExpvar(reg *Registry) {
+	expvarOnce.Do(func() {
+		expvar.Publish("rtopex", expvar.Func(func() any { return reg.Snapshot() }))
+	})
+}
+
+// Serve exposes Handler(reg) on addr (e.g. ":6060" or "127.0.0.1:0") and
+// returns the bound address plus a shutdown func. The listener is up when
+// Serve returns, so a caller can print the address and immediately be
+// scraped.
+func Serve(addr string, reg *Registry) (boundAddr string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	publishExpvar(reg)
+	srv := &http.Server{Handler: Handler(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// CounterValue is one counter series in a snapshot.
+type CounterValue struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  int64   `json:"value"`
+}
+
+// GaugeValue is one gauge series in a snapshot.
+type GaugeValue struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// HistogramSeries is one histogram series in a snapshot.
+type HistogramSeries struct {
+	Name   string         `json:"name"`
+	Labels []Label        `json:"labels,omitempty"`
+	Value  HistogramValue `json:"value"`
+}
+
+// Snapshot is the serializable state of a registry at one instant. Series
+// are sorted by canonical id, buckets by index, so identical registry
+// states yield byte-identical JSON — the property the sweep's artifact
+// determinism guarantee is stated over.
+type Snapshot struct {
+	Counters   []CounterValue    `json:"counters,omitempty"`
+	Gauges     []GaugeValue      `json:"gauges,omitempty"`
+	Histograms []HistogramSeries `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current state. Unset gauges are skipped.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := &Snapshot{}
+	for _, f := range r.fams {
+		for _, s := range f.series {
+			switch f.k {
+			case counterKind:
+				snap.Counters = append(snap.Counters, CounterValue{f.name, s.labels, s.c.Value()})
+			case gaugeKind:
+				if s.g.IsSet() {
+					snap.Gauges = append(snap.Gauges, GaugeValue{f.name, s.labels, s.g.Value()})
+				}
+			case histogramKind:
+				snap.Histograms = append(snap.Histograms, HistogramSeries{f.name, s.labels, s.h.Value()})
+			}
+		}
+	}
+	sort.Slice(snap.Counters, func(i, j int) bool {
+		return SeriesID(snap.Counters[i].Name, snap.Counters[i].Labels) < SeriesID(snap.Counters[j].Name, snap.Counters[j].Labels)
+	})
+	sort.Slice(snap.Gauges, func(i, j int) bool {
+		return SeriesID(snap.Gauges[i].Name, snap.Gauges[i].Labels) < SeriesID(snap.Gauges[j].Name, snap.Gauges[j].Labels)
+	})
+	sort.Slice(snap.Histograms, func(i, j int) bool {
+		return SeriesID(snap.Histograms[i].Name, snap.Histograms[i].Labels) < SeriesID(snap.Histograms[j].Name, snap.Histograms[j].Labels)
+	})
+	return snap
+}
+
+// MergeSnapshot folds a snapshot into the registry: counters and histogram
+// buckets add, gauges overwrite. This is the cross-shard (and cross-machine)
+// aggregation path: merging per-shard snapshots produces exactly the
+// registry a serial run over all shards would have built.
+func (r *Registry) MergeSnapshot(s *Snapshot) {
+	if s == nil {
+		return
+	}
+	for _, c := range s.Counters {
+		r.Counter(c.Name, c.Labels...).Add(c.Value)
+	}
+	for _, g := range s.Gauges {
+		r.Gauge(g.Name, g.Labels...).Set(g.Value)
+	}
+	for _, h := range s.Histograms {
+		r.Histogram(h.Name, h.Labels...).MergeValue(h.Value)
+	}
+}
+
+// Merge folds another snapshot into s (without a registry): counters and
+// histogram buckets add, gauges overwrite.
+func (s *Snapshot) Merge(other *Snapshot) *Snapshot {
+	r := NewRegistry()
+	r.MergeSnapshot(s)
+	r.MergeSnapshot(other)
+	return r.Snapshot()
+}
+
+// WriteText renders the snapshot as aligned human-readable lines: counters
+// and gauges one per line, histograms as count/mean/quantile summaries.
+// The output is deterministic (series sorted by id).
+func (s *Snapshot) WriteText(w io.Writer) error {
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(w, "%-52s %d\n", SeriesID(c.Name, c.Labels), c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "%-52s %s\n", SeriesID(g.Name, g.Labels), formatFloat(g.Value)); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		v := h.Value
+		if _, err := fmt.Fprintf(w, "%-52s n=%d mean=%s p50=%s p99=%s max=%s\n",
+			SeriesID(h.Name, h.Labels), v.Count, formatFloat(v.Mean()),
+			formatFloat(v.Quantile(0.5)), formatFloat(v.Quantile(0.99)), formatFloat(v.Max)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a float with the shortest round-trip representation,
+// the same convention the Prometheus writer uses.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,67 @@
+package realtime
+
+import "rtopex/internal/obs"
+
+// liveObs caches the registry handles the live run's hot paths update, so
+// workers touch only atomics (and one histogram mutex), never the registry
+// map lock. All methods are no-ops on a nil receiver.
+type liveObs struct {
+	subframes  *obs.Counter
+	decoded    *obs.Counter
+	decodeFail *obs.Counter
+	missed     *obs.Counter
+	dropped    *obs.Counter
+	procUS     *obs.Histogram
+	lateUS     *obs.Histogram
+}
+
+func newLiveObs(reg *obs.Registry) *liveObs {
+	if reg == nil {
+		return nil
+	}
+	reg.SetHelp("rtopex_live_subframes_total", "Subframes released to the live PHY chain.")
+	reg.SetHelp("rtopex_live_decoded_total", "Subframes decoded within the deadline.")
+	reg.SetHelp("rtopex_live_decode_fail_total", "Subframes whose channel code failed to converge.")
+	reg.SetHelp("rtopex_live_missed_total", "Subframes completed after the deadline.")
+	reg.SetHelp("rtopex_live_dropped_total", "Subframes dropped because the core was still busy.")
+	reg.SetHelp("rtopex_live_proc_us", "Per-subframe wall-clock processing time.")
+	reg.SetHelp("rtopex_live_late_us", "Tardiness of subframes that missed the deadline.")
+	return &liveObs{
+		subframes:  reg.Counter("rtopex_live_subframes_total"),
+		decoded:    reg.Counter("rtopex_live_decoded_total"),
+		decodeFail: reg.Counter("rtopex_live_decode_fail_total"),
+		missed:     reg.Counter("rtopex_live_missed_total"),
+		dropped:    reg.Counter("rtopex_live_dropped_total"),
+		procUS:     reg.Histogram("rtopex_live_proc_us"),
+		lateUS:     reg.Histogram("rtopex_live_late_us"),
+	}
+}
+
+// processed books one completed subframe. outcome is the EvFinish detail
+// ("ack"/"late"/"decodefail"); lateUS > 0 marks a deadline miss regardless
+// of outcome (a decode failure can also be late, matching Stats).
+func (l *liveObs) processed(outcome string, procUS, lateUS float64) {
+	if l == nil {
+		return
+	}
+	l.subframes.Inc()
+	l.procUS.Observe(procUS)
+	switch outcome {
+	case "ack":
+		l.decoded.Inc()
+	case "decodefail":
+		l.decodeFail.Inc()
+	}
+	if lateUS > 0 {
+		l.missed.Inc()
+		l.lateUS.Observe(lateUS)
+	}
+}
+
+func (l *liveObs) drop() {
+	if l == nil {
+		return
+	}
+	l.subframes.Inc()
+	l.dropped.Inc()
+}

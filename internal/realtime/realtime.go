@@ -26,6 +26,7 @@ import (
 	"rtopex/internal/bits"
 	"rtopex/internal/channel"
 	"rtopex/internal/lte"
+	"rtopex/internal/obs"
 	"rtopex/internal/phy"
 	"rtopex/internal/stats"
 	"rtopex/internal/trace"
@@ -56,6 +57,11 @@ type Config struct {
 	// emit site guards on a single nil check and the per-stage pipeline path
 	// is only taken when tracing.
 	Tracer trace.Tracer
+	// Obs, when non-nil, receives live progress while the run executes:
+	// subframe/decode/miss/drop counters and the per-subframe processing-time
+	// histogram, updated as workers finish — the series `livebench -http`
+	// exposes mid-run.
+	Obs *obs.Registry
 }
 
 func (c Config) dilation() float64 {
@@ -191,6 +197,7 @@ func Run(cfg Config) (*Stats, error) {
 	}
 
 	st := &Stats{}
+	lo := newLiveObs(cfg.Obs)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for core := 0; core < nCores; core++ {
@@ -236,26 +243,31 @@ func Run(cfg Config) (*Stats, error) {
 				}
 				done := time.Now()
 				outcome := "ack"
+				procUS := done.Sub(start).Seconds() * 1e6
+				lateUS := 0.0
 				mu.Lock()
 				st.Subframes++
-				st.ProcUS = append(st.ProcUS, done.Sub(start).Seconds()*1e6)
+				st.ProcUS = append(st.ProcUS, procUS)
 				deadline := j.release.Add(budget)
 				switch {
 				case err != nil || !res.OK:
 					st.DecodeFail++
 					outcome = "decodefail"
 					if done.After(deadline) {
+						lateUS = done.Sub(deadline).Seconds() * 1e6
 						st.Missed++
-						st.LateUS = append(st.LateUS, done.Sub(deadline).Seconds()*1e6)
+						st.LateUS = append(st.LateUS, lateUS)
 					}
 				case done.After(deadline):
+					lateUS = done.Sub(deadline).Seconds() * 1e6
 					st.Missed++
-					st.LateUS = append(st.LateUS, done.Sub(deadline).Seconds()*1e6)
+					st.LateUS = append(st.LateUS, lateUS)
 					outcome = "late"
 				default:
 					st.Decoded++
 				}
 				mu.Unlock()
+				lo.processed(outcome, procUS, lateUS)
 				if tr != nil {
 					emit(done, core, bs, j.idx, trace.EvFinish, outcome)
 				}
@@ -285,6 +297,7 @@ func Run(cfg Config) (*Stats, error) {
 				st.Subframes++
 				st.Dropped++
 				mu.Unlock()
+				lo.drop()
 				if tr != nil {
 					emit(release, core, bs, j, trace.EvDrop, "queue-full")
 				}

@@ -3,6 +3,7 @@ package realtime
 import (
 	"testing"
 
+	"rtopex/internal/obs"
 	"rtopex/internal/trace"
 )
 
@@ -133,6 +134,47 @@ func TestLiveRunTraced(t *testing.T) {
 			t.Fatalf("phase %q emitted %d times for %d processed subframes",
 				task, phases[task], processed)
 		}
+	}
+}
+
+func TestLiveRunObserved(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live run is wall-clock bound")
+	}
+	reg := obs.NewRegistry()
+	st, err := Run(Config{
+		Basestations: 1,
+		CoresPerBS:   2,
+		Subframes:    6,
+		Antennas:     1,
+		SNRdB:        30,
+		MCS:          0,
+		Dilation:     30,
+		Seed:         4,
+		Obs:          reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The live registry must agree with the final Stats on every counter.
+	if got := reg.Counter("rtopex_live_subframes_total").Value(); got != int64(st.Subframes) {
+		t.Fatalf("live subframes = %d, stats %d", got, st.Subframes)
+	}
+	if got := reg.Counter("rtopex_live_decoded_total").Value(); got != int64(st.Decoded) {
+		t.Fatalf("live decoded = %d, stats %d", got, st.Decoded)
+	}
+	if got := reg.Counter("rtopex_live_missed_total").Value(); got != int64(st.Missed) {
+		t.Fatalf("live missed = %d, stats %d", got, st.Missed)
+	}
+	if got := reg.Counter("rtopex_live_dropped_total").Value(); got != int64(st.Dropped) {
+		t.Fatalf("live dropped = %d, stats %d", got, st.Dropped)
+	}
+	h := reg.Histogram("rtopex_live_proc_us")
+	if got := h.Count(); got != uint64(len(st.ProcUS)) {
+		t.Fatalf("live proc histogram count = %d, stats %d", got, len(st.ProcUS))
+	}
+	if h.Count() > 0 && h.Quantile(0.5) <= 0 {
+		t.Fatal("median processing time should be positive")
 	}
 }
 

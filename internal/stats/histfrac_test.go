@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFractionDenominatorIncludesOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 10, 2)
+	h.Add(-1) // under
+	h.Add(2)  // bin 0
+	h.Add(7)  // bin 1
+	h.Add(7)  // bin 1
+	h.Add(12) // over
+
+	// Fraction divides by Total (5), including Under and Over.
+	if got := h.Fraction(1); got != 2.0/5 {
+		t.Fatalf("Fraction(1) = %v, want 2/5", got)
+	}
+	if sum := h.Fraction(0) + h.Fraction(1); math.Abs(sum-3.0/5) > 1e-15 {
+		t.Fatalf("bin fractions sum to %v, want 3/5 (out-of-range samples dilute)", sum)
+	}
+
+	// InRangeFraction divides by the in-range count (3) and sums to 1.
+	if got := h.InRangeFraction(1); got != 2.0/3 {
+		t.Fatalf("InRangeFraction(1) = %v, want 2/3", got)
+	}
+	if sum := h.InRangeFraction(0) + h.InRangeFraction(1); sum != 1.0 {
+		t.Fatalf("in-range fractions sum to %v, want 1", sum)
+	}
+}
+
+func TestFractionEmpty(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	if h.Fraction(0) != 0 || h.InRangeFraction(0) != 0 {
+		t.Fatal("empty histogram fractions should be 0")
+	}
+	h.Add(-5)
+	h.Add(9)
+	if h.InRangeFraction(0) != 0 {
+		t.Fatal("all-out-of-range histogram should report 0 in-range fraction")
+	}
+}
+
+// TestAddTopEdgeRounding pins the guard in Add: a sample x < Hi whose
+// (x−Lo)/binWidth rounds up to len(Counts) must land in the last bin, not
+// out of bounds. lo=0, hi=0.7, bins=7 gives binWidth = 0.7/7 = 0.0999…96;
+// the largest float below 0.7 divided by that width exceeds 7.
+func TestAddTopEdgeRounding(t *testing.T) {
+	h := NewHistogram(0, 0.7, 7)
+	x := math.Nextafter(0.7, 0)
+	if x >= h.Hi {
+		t.Fatal("test setup: x should be in range")
+	}
+	if idx := (x - h.Lo) / ((h.Hi - h.Lo) / 7); int(idx) < 7 {
+		// The parameters no longer trigger the rounding hazard (e.g. the
+		// binWidth computation changed); search for a triggering case so
+		// the guard stays pinned.
+		found := false
+		for bins := 3; bins <= 64 && !found; bins++ {
+			for _, hi := range []float64{0.7, 0.3, 1.3, 2.1, 4.9} {
+				w := hi / float64(bins)
+				v := math.Nextafter(hi, 0)
+				if v < hi && int(v/w) >= bins {
+					h = NewHistogram(0, hi, bins)
+					x = v
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			t.Skip("no float-rounding trigger found for the top-edge guard")
+		}
+	}
+	h.Add(x)
+	if h.Over != 0 || h.Under != 0 {
+		t.Fatalf("in-range sample counted out of range: under=%d over=%d", h.Under, h.Over)
+	}
+	if got := h.Counts[len(h.Counts)-1]; got != 1 {
+		t.Fatalf("top-edge sample should land in the last bin; counts=%v", h.Counts)
+	}
+}
+
+func TestTCrit95(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706}, {2, 4.303}, {9, 2.262}, {30, 2.042},
+		{35, 2.021}, {50, 2.000}, {100, 1.980}, {1000, 1.960},
+	}
+	for _, c := range cases {
+		if got := TCrit95(c.df); got != c.want {
+			t.Errorf("TCrit95(%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+	if !math.IsNaN(TCrit95(0)) {
+		t.Error("TCrit95(0) should be NaN")
+	}
+}
+
+func TestMeanCI95(t *testing.T) {
+	mean, half := MeanCI95([]float64{2, 4, 6})
+	if mean != 4 {
+		t.Fatalf("mean = %v, want 4", mean)
+	}
+	// s = 2, n = 3, t(2) = 4.303 → half = 4.303·2/√3.
+	want := 4.303 * 2 / math.Sqrt(3)
+	if math.Abs(half-want) > 1e-9 {
+		t.Fatalf("half = %v, want %v", half, want)
+	}
+
+	if m, h := MeanCI95([]float64{7}); m != 7 || h != 0 {
+		t.Fatalf("single sample: (%v, %v), want (7, 0)", m, h)
+	}
+	if m, h := MeanCI95(nil); !math.IsNaN(m) || h != 0 {
+		t.Fatalf("empty: (%v, %v), want (NaN, 0)", m, h)
+	}
+}

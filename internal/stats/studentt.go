@@ -1,0 +1,55 @@
+package stats
+
+import "math"
+
+// This file provides the Student-t machinery behind the sweep's replica
+// aggregation: -replicas runs the same experiment under different derived
+// seeds, and the summary rows report mean ± the 95% confidence half-width
+// t(df)·s/√n. Only the two-sided 95% level is tabulated — it is the only
+// level the reports use, and a table avoids reimplementing the incomplete
+// beta function.
+
+// tCrit95 holds the two-sided 95% critical values t_{0.975,df} for df 1–30.
+var tCrit95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCrit95 returns the two-sided 95% Student-t critical value for df degrees
+// of freedom. df ≤ 0 returns NaN. Between tabulated points (df > 30) the
+// standard coarse table steps are used, converging to the normal 1.960.
+func TCrit95(df int) float64 {
+	switch {
+	case df <= 0:
+		return math.NaN()
+	case df <= len(tCrit95):
+		return tCrit95[df-1]
+	case df <= 40:
+		return 2.021
+	case df <= 60:
+		return 2.000
+	case df <= 120:
+		return 1.980
+	default:
+		return 1.960
+	}
+}
+
+// MeanCI95 returns the sample mean of xs and the half-width of its 95%
+// confidence interval, t_{0.975,n−1}·s/√n. Fewer than two samples yield a
+// zero half-width (no dispersion estimate exists).
+func MeanCI95(xs []float64) (mean, half float64) {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN(), 0
+	}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if n < 2 {
+		return w.Mean(), 0
+	}
+	return w.Mean(), TCrit95(n-1) * w.Std() / math.Sqrt(float64(n))
+}

@@ -172,12 +172,28 @@ func (h *Histogram) BinCenter(i int) float64 {
 	return h.Lo + (float64(i)+0.5)*h.binWidth
 }
 
-// Fraction returns the fraction of all samples falling in bin i.
+// Fraction returns the fraction of *all* recorded samples falling in bin i.
+// The denominator is Total, which includes Under and Over, so the bin
+// fractions sum to 1 − (Under+Over)/Total, not to 1, when samples fell
+// outside [Lo, Hi). That is the right normalization for plots whose x-axis
+// covers the full data range (the paper's figures); for a distribution over
+// the in-range samples only, use InRangeFraction.
 func (h *Histogram) Fraction(i int) float64 {
 	if h.Total == 0 {
 		return 0
 	}
 	return float64(h.Counts[i]) / float64(h.Total)
+}
+
+// InRangeFraction returns the fraction of in-range samples (Total − Under −
+// Over) falling in bin i; the bin fractions sum to 1 whenever any sample
+// landed in range.
+func (h *Histogram) InRangeFraction(i int) float64 {
+	in := h.Total - h.Under - h.Over
+	if in == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(in)
 }
 
 // Mean of all recorded in-range samples cannot be recovered from a histogram;

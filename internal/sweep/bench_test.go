@@ -1,0 +1,39 @@
+package sweep
+
+import (
+	"testing"
+
+	"rtopex/internal/harness"
+)
+
+// BenchmarkSweepWorkerPool measures the orchestrator's own overhead —
+// unit expansion, hashing, snapshot embedding, record assembly — with the
+// experiment runner stubbed to a trivial table, so the shards/s figure is
+// pure engine cost, not PHY cost.
+func BenchmarkSweepWorkerPool(b *testing.B) {
+	ids := []string{"fig15", "fig16", "fig17", "fig19"}
+	const replicas = 4
+	mk := func(id string, o harness.Options) (*harness.Table, error) {
+		tb := &harness.Table{ID: id, Title: id, Columns: []string{"x", "miss_rate"}}
+		tb.AddRow("150", 0.31)
+		tb.AddRow("300", 0.35)
+		return tb, nil
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(Config{
+			IDs:      ids,
+			Workers:  4,
+			Replicas: replicas,
+			Options:  harness.Options{Quick: true, Seed: 11},
+			runFn:    mk,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Records) != len(ids)*replicas {
+			b.Fatalf("%d records, want %d", len(res.Records), len(ids)*replicas)
+		}
+	}
+	b.ReportMetric(float64(len(ids)*replicas*b.N)/b.Elapsed().Seconds(), "shards/s")
+}

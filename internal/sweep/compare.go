@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+
+	"rtopex/internal/obs"
 )
 
 // Tolerance bounds the allowed numeric drift of one cell: a candidate
@@ -151,6 +153,83 @@ func compareRecord(b, f *Record, o CompareOptions) []Drift {
 					drifts = append(drifts, d(fmt.Sprintf("note %d", i), bt.Notes[i], ft.Notes[i]))
 				}
 			}
+		}
+	}
+	drifts = append(drifts, compareObs(b, f, o)...)
+	return drifts
+}
+
+// compareObs gates the embedded observability snapshots: counters must
+// match exactly, gauges within the experiment's tolerance, histograms on
+// exact count plus sum/p50/p99 within tolerance. Records without snapshots
+// (schema 1 baselines, or only one side carrying one) are skipped — the
+// gate tightens only when both sides speak the same schema.
+func compareObs(b, f *Record, o CompareOptions) []Drift {
+	if b.Obs == nil || f.Obs == nil {
+		return nil
+	}
+	d := func(where, base, got string) Drift {
+		return Drift{Experiment: b.Experiment, Replica: b.Replica, Where: where, Baseline: base, Fresh: got}
+	}
+	var drifts []Drift
+	tol := func(name string) Tolerance { return o.tolerance(b.Experiment, name) }
+
+	fc := make(map[string]int64, len(f.Obs.Counters))
+	for _, c := range f.Obs.Counters {
+		fc[obs.SeriesID(c.Name, c.Labels)] = c.Value
+	}
+	for _, c := range b.Obs.Counters {
+		id := obs.SeriesID(c.Name, c.Labels)
+		if got, ok := fc[id]; !ok || got != c.Value {
+			fresh := "(no series)"
+			if ok {
+				fresh = fmt.Sprint(got)
+			}
+			drifts = append(drifts, d("obs counter "+id, fmt.Sprint(c.Value), fresh))
+		}
+	}
+
+	fg := make(map[string]float64, len(f.Obs.Gauges))
+	for _, g := range f.Obs.Gauges {
+		fg[obs.SeriesID(g.Name, g.Labels)] = g.Value
+	}
+	for _, g := range b.Obs.Gauges {
+		id := obs.SeriesID(g.Name, g.Labels)
+		got, ok := fg[id]
+		if !ok || !tol(g.Name).ok(g.Value, got) {
+			fresh := "(no series)"
+			if ok {
+				fresh = fmt.Sprint(got)
+			}
+			drifts = append(drifts, d("obs gauge "+id, fmt.Sprint(g.Value), fresh))
+		}
+	}
+
+	fh := make(map[string]obs.HistogramValue, len(f.Obs.Histograms))
+	for _, h := range f.Obs.Histograms {
+		fh[obs.SeriesID(h.Name, h.Labels)] = h.Value
+	}
+	for _, h := range b.Obs.Histograms {
+		id := obs.SeriesID(h.Name, h.Labels)
+		got, ok := fh[id]
+		if !ok {
+			drifts = append(drifts, d("obs histogram "+id, fmt.Sprintf("count=%d", h.Value.Count), "(no series)"))
+			continue
+		}
+		t := tol(h.Name)
+		switch {
+		case got.Count != h.Value.Count:
+			drifts = append(drifts, d("obs histogram "+id+" count",
+				fmt.Sprint(h.Value.Count), fmt.Sprint(got.Count)))
+		case !t.ok(h.Value.Sum, got.Sum):
+			drifts = append(drifts, d("obs histogram "+id+" sum",
+				fmt.Sprint(h.Value.Sum), fmt.Sprint(got.Sum)))
+		case h.Value.Count > 0 && !t.ok(h.Value.Quantile(0.5), got.Quantile(0.5)):
+			drifts = append(drifts, d("obs histogram "+id+" p50",
+				fmt.Sprint(h.Value.Quantile(0.5)), fmt.Sprint(got.Quantile(0.5))))
+		case h.Value.Count > 0 && !t.ok(h.Value.Quantile(0.99), got.Quantile(0.99)):
+			drifts = append(drifts, d("obs histogram "+id+" p99",
+				fmt.Sprint(h.Value.Quantile(0.99)), fmt.Sprint(got.Quantile(0.99))))
 		}
 	}
 	return drifts

@@ -1,0 +1,105 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"rtopex/internal/harness"
+	"rtopex/internal/stats"
+)
+
+// AggregateReplicas reduces a replicated sweep's records to one summary
+// table per experiment: every numeric cell position becomes "mean±half"
+// where half is the 95% confidence half-width over the replicas (Student-t,
+// n−1 df), and cells that are identical strings across all replicas pass
+// through unchanged. Experiments with fewer than two replicas, or whose
+// replica tables disagree in shape, are skipped — there is nothing sound to
+// aggregate. Output is sorted by experiment id.
+func AggregateReplicas(records []*Record) []*harness.Table {
+	byExp := map[string][]*Record{}
+	for _, r := range records {
+		if r.Table != nil {
+			byExp[r.Experiment] = append(byExp[r.Experiment], r)
+		}
+	}
+	ids := make([]string, 0, len(byExp))
+	for id := range byExp {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	var out []*harness.Table
+	for _, id := range ids {
+		recs := byExp[id]
+		if len(recs) < 2 {
+			continue
+		}
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Replica < recs[j].Replica })
+		if agg := aggregateOne(id, recs); agg != nil {
+			out = append(out, agg)
+		}
+	}
+	return out
+}
+
+func aggregateOne(id string, recs []*Record) *harness.Table {
+	first := recs[0].Table
+	for _, r := range recs[1:] {
+		t := r.Table
+		if len(t.Columns) != len(first.Columns) || len(t.Rows) != len(first.Rows) {
+			return nil
+		}
+		for i := range t.Rows {
+			if len(t.Rows[i]) != len(first.Rows[i]) {
+				return nil
+			}
+		}
+	}
+	agg := &harness.Table{
+		ID:      id,
+		Title:   fmt.Sprintf("%s (aggregated over %d replicas)", first.Title, len(recs)),
+		Columns: append([]string(nil), first.Columns...),
+	}
+	for i := range first.Rows {
+		row := make([]string, len(first.Rows[i]))
+		for c := range first.Rows[i] {
+			row[c] = aggregateCell(recs, i, c)
+		}
+		agg.Rows = append(agg.Rows, row)
+	}
+	agg.Notes = append(agg.Notes,
+		fmt.Sprintf("numeric cells are mean ± 95%% CI half-width (Student-t, n=%d replicas)", len(recs)))
+	return agg
+}
+
+// aggregateCell reduces one cell position across replicas. All-identical
+// strings (row labels, x-axis values) pass through; all-numeric cells
+// become mean±half; anything mixed is reported as such.
+func aggregateCell(recs []*Record, row, col int) string {
+	vals := make([]float64, 0, len(recs))
+	first := recs[0].Table.Rows[row][col]
+	identical := true
+	numeric := true
+	for _, r := range recs {
+		cell := r.Table.Rows[row][col]
+		if cell != first {
+			identical = false
+		}
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			numeric = false
+			continue
+		}
+		vals = append(vals, v)
+	}
+	if identical {
+		return first
+	}
+	if !numeric || len(vals) < 2 {
+		return fmt.Sprintf("(varies: %s, …)", first)
+	}
+	mean, half := stats.MeanCI95(vals)
+	return fmt.Sprintf("%.4g±%.2g", mean, half)
+}

@@ -1,0 +1,98 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"rtopex/internal/harness"
+)
+
+func replicaRecord(id string, replica int, miss string) *Record {
+	tb := &harness.Table{ID: id, Title: "t " + id, Columns: []string{"rtt2_us", "miss_rate"}}
+	tb.AddRow("150", miss)
+	cfg := harness.ResolvedOptions{Subframes: 10, Samples: 10, Seed: uint64(replica + 1)}
+	return &Record{
+		Schema: SchemaVersion, Key: Key(id, cfg), Experiment: id,
+		Replica: replica, Config: cfg, Table: tb,
+	}
+}
+
+func TestAggregateReplicas(t *testing.T) {
+	recs := []*Record{
+		replicaRecord("fig19", 0, "0.010"),
+		replicaRecord("fig19", 1, "0.014"),
+		replicaRecord("fig19", 2, "0.012"),
+		replicaRecord("solo", 0, "0.5"), // single replica: skipped
+	}
+	aggs := AggregateReplicas(recs)
+	if len(aggs) != 1 || aggs[0].ID != "fig19" {
+		t.Fatalf("aggregated %d tables: %+v", len(aggs), aggs)
+	}
+	agg := aggs[0]
+	if agg.Rows[0][0] != "150" {
+		t.Fatalf("identical x-axis cell should pass through: %q", agg.Rows[0][0])
+	}
+	cell := agg.Rows[0][1]
+	if !strings.Contains(cell, "±") || !strings.HasPrefix(cell, "0.012") {
+		t.Fatalf("miss cell = %q, want mean 0.012 ± CI", cell)
+	}
+	if len(agg.Notes) == 0 || !strings.Contains(agg.Notes[0], "Student-t") {
+		t.Fatalf("aggregation note missing: %v", agg.Notes)
+	}
+	if !strings.Contains(agg.Title, "3 replicas") {
+		t.Fatalf("title = %q", agg.Title)
+	}
+}
+
+func TestAggregateReplicasShapeMismatchSkipped(t *testing.T) {
+	a := replicaRecord("fig19", 0, "0.01")
+	b := replicaRecord("fig19", 1, "0.02")
+	b.Table.Columns = []string{"only_one"}
+	if aggs := AggregateReplicas([]*Record{a, b}); len(aggs) != 0 {
+		t.Fatalf("mismatched shapes should not aggregate: %+v", aggs)
+	}
+}
+
+// TestSweepReplicasAggregate runs a real replicated sweep (fake runner) and
+// checks the replica records carry distinct seeds and aggregate cleanly.
+func TestSweepReplicasAggregate(t *testing.T) {
+	var runs atomic.Int64
+	cfg := Config{
+		IDs:      []string{"fig15"},
+		Workers:  2,
+		Replicas: 3,
+		Options:  harness.Options{Quick: true, Subframes: 60, Samples: 100, Seed: 7},
+		runFn: func(id string, o harness.Options) (*harness.Table, error) {
+			runs.Add(1)
+			tb := &harness.Table{ID: id, Title: id, Columns: []string{"x", "miss_rate"}}
+			// Vary with the derived seed so the CI is nonzero.
+			tb.AddRow("1", float64(o.Seed%100)/1000)
+			return tb, nil
+		},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 3 || len(res.Records) != 3 {
+		t.Fatalf("runs=%d records=%d, want 3/3", runs.Load(), len(res.Records))
+	}
+	seeds := map[uint64]bool{}
+	for _, r := range res.Records {
+		seeds[r.Config.Seed] = true
+	}
+	if len(seeds) != 3 {
+		t.Fatalf("replicas shared seeds: %v", seeds)
+	}
+	aggs := AggregateReplicas(res.Records)
+	if len(aggs) != 1 {
+		t.Fatalf("aggregated %d tables", len(aggs))
+	}
+	var buf bytes.Buffer
+	buf.WriteString(aggs[0].String())
+	if !strings.Contains(buf.String(), "±") {
+		t.Fatalf("aggregate table has no CI column:\n%s", buf.String())
+	}
+}

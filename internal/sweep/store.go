@@ -11,11 +11,19 @@ import (
 	"sync"
 
 	"rtopex/internal/harness"
+	"rtopex/internal/obs"
 )
 
 // SchemaVersion tags the artifact-record layout. Bump it when Record's
 // JSON shape changes, and keep readers for prior versions.
-const SchemaVersion = 1
+//
+// History: v1 is the original layout; v2 adds the optional embedded obs
+// snapshot. v1 records are still readable — a missing snapshot simply means
+// no obs gating.
+const SchemaVersion = 2
+
+// readableSchemas are the record versions ReadStore accepts.
+var readableSchemas = map[int]bool{1: true, 2: true}
 
 // Record is one artifact: the full table an experiment produced under one
 // resolved configuration, keyed by a content hash of that configuration.
@@ -38,6 +46,10 @@ type Record struct {
 	// reproducibility and skipped by Compare.
 	Measured bool           `json:"measured,omitempty"`
 	Table    *harness.Table `json:"table"`
+	// Obs is the observability snapshot derived deterministically from the
+	// table (schema ≥ 2): per-column value histograms and means, usable as
+	// extra Compare gates. Absent in v1 records and in failed conversions.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
 }
 
 // Key computes the content hash an artifact is stored under: the first 16
@@ -140,8 +152,8 @@ func ReadStore(path string) ([]*Record, error) {
 			pendingErr = fmt.Errorf("sweep: %s line %d: %v", path, line, err)
 			continue
 		}
-		if r.Schema != SchemaVersion {
-			return nil, fmt.Errorf("sweep: %s line %d: schema %d, this reader handles %d",
+		if !readableSchemas[r.Schema] {
+			return nil, fmt.Errorf("sweep: %s line %d: schema %d, this reader handles up to %d",
 				path, line, r.Schema, SchemaVersion)
 		}
 		recs = append(recs, &r)

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"rtopex/internal/harness"
+	"rtopex/internal/obs"
 )
 
 // Config describes one sweep.
@@ -57,6 +58,11 @@ type Config struct {
 	Resume bool
 	// Progress, when non-nil, receives one line per unit completion.
 	Progress io.Writer
+	// Obs, when non-nil, receives live sweep progress (units total/done/
+	// failed/reused, worker occupancy, per-unit wall-time histogram) and
+	// every finished table's summary gauges — the series `rtopex -http`
+	// exposes for scraping mid-sweep.
+	Obs *obs.Registry
 
 	// runFn substitutes the experiment runner in tests; nil means
 	// harness.Run.
@@ -253,6 +259,8 @@ func Run(cfg Config) (*Result, error) {
 		pending = append(pending, u)
 	}
 
+	sw := newSweepObs(cfg.Obs, len(units), len(pending), res.Reused, cfg.workers())
+
 	var (
 		mu       sync.Mutex
 		wg       sync.WaitGroup
@@ -274,9 +282,11 @@ func Run(cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for u := range jobs {
+				sw.unitStarted()
 				t0 := time.Now()
 				rec, fail := runUnit(cfg, u)
 				d := time.Since(t0)
+				sw.unitFinished(u, rec, fail, d)
 				mu.Lock()
 				res.Ran++
 				res.Busy += d
@@ -349,6 +359,9 @@ func runUnit(cfg Config, u Unit) (*Record, *Failure) {
 			Config:     u.Options.Resolve(),
 			Measured:   u.Spec.Measured,
 			Table:      o.tb,
+			// Derived from the table alone, so the record stays a pure
+			// function of the unit (the byte-identity guarantee).
+			Obs: harness.TableSnapshot(o.tb),
 		}, nil
 	case <-timeout:
 		return nil, &Failure{

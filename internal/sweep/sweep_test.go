@@ -405,13 +405,28 @@ func TestStoreReadTolerance(t *testing.T) {
 		t.Fatal("mid-file garbage accepted")
 	}
 
-	// Wrong schema version: rejected.
-	line := bytes.Replace(b[:bytes.IndexByte(b, '\n')+1],
-		[]byte(`"schema":1`), []byte(`"schema":99`), 1)
+	// Wrong schema version: rejected. (Build the pattern from SchemaVersion
+	// so this keeps biting after future bumps.)
+	cur := []byte(fmt.Sprintf(`"schema":%d`, SchemaVersion))
+	firstLine := b[:bytes.IndexByte(b, '\n')+1]
+	if !bytes.Contains(firstLine, cur) {
+		t.Fatalf("store line does not carry %s: %s", cur, firstLine)
+	}
+	line := bytes.Replace(firstLine, cur, []byte(`"schema":99`), 1)
 	if err := os.WriteFile(path, line, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := ReadStore(path); err == nil {
 		t.Fatal("future schema accepted")
+	}
+
+	// Prior schema (v1, no obs snapshot): still readable.
+	v1 := bytes.Replace(firstLine, cur, []byte(`"schema":1`), 1)
+	if err := os.WriteFile(path, v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = ReadStore(path)
+	if err != nil || len(recs) != 1 || recs[0].Schema != 1 {
+		t.Fatalf("v1 record rejected: %d records, err %v", len(recs), err)
 	}
 }

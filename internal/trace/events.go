@@ -203,6 +203,45 @@ func (l *locked) Emit(e Event) {
 	l.t.Emit(e)
 }
 
+type tee struct{ sinks []Tracer }
+
+// Tee fans each event out to every sink, in order. It is Enabled when any
+// sink is, and sinks that report disabled are skipped on Emit. Nil sinks are
+// dropped; a tee of zero or one live sinks collapses to the obvious thing.
+// The typical use is recording a run into a Ring while a CoreAccountant
+// tallies utilization from the same stream.
+func Tee(sinks ...Tracer) Tracer {
+	live := make([]Tracer, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	if len(live) == 1 {
+		return live[0]
+	}
+	return &tee{sinks: live}
+}
+
+// Enabled implements Tracer.
+func (t *tee) Enabled() bool {
+	for _, s := range t.sinks {
+		if s.Enabled() {
+			return true
+		}
+	}
+	return false
+}
+
+// Emit implements Tracer.
+func (t *tee) Emit(e Event) {
+	for _, s := range t.sinks {
+		if s.Enabled() {
+			s.Emit(e)
+		}
+	}
+}
+
 // EventLog is the exportable form of one run's trace.
 type EventLog struct {
 	// Scheduler names the scheduler that produced the trace.

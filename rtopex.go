@@ -29,6 +29,7 @@ import (
 	"rtopex/internal/harness"
 	"rtopex/internal/lte"
 	"rtopex/internal/model"
+	"rtopex/internal/obs"
 	"rtopex/internal/phy"
 	"rtopex/internal/sched"
 	"rtopex/internal/sweep"
@@ -262,4 +263,37 @@ func ReadSweepStore(path string) ([]*SweepRecord, error) { return sweep.ReadStor
 // every drift (empty means the gate passes).
 func CompareSweeps(baseline, fresh []*SweepRecord, o SweepCompareOptions) []SweepDrift {
 	return sweep.Compare(baseline, fresh, o)
+}
+
+// AggregateSweepReplicas reduces a replicated sweep's records to one
+// mean ± 95% CI summary table per experiment (Student-t over the replicas).
+func AggregateSweepReplicas(records []*SweepRecord) []*ExperimentTable {
+	return sweep.AggregateReplicas(records)
+}
+
+// Observability plane: a mergeable live-metrics registry plus an opt-in
+// HTTP endpoint bundling Prometheus /metrics with expvar and pprof. See
+// internal/obs for the design.
+type (
+	// ObsRegistry is a concurrency-safe, mergeable metrics registry.
+	ObsRegistry = obs.Registry
+	// ObsSnapshot is a registry's serializable, deterministic state.
+	ObsSnapshot = obs.Snapshot
+	// CoreReport is one core's busy/migration/idle utilization over a run.
+	CoreReport = obs.CoreReport
+)
+
+// NewObsRegistry creates an empty metrics registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// ServeObs exposes the registry's /metrics, /debug/vars and /debug/pprof/
+// on addr (e.g. ":6060"); it returns the bound address and a stop func.
+func ServeObs(addr string, reg *ObsRegistry) (boundAddr string, stop func(), err error) {
+	return obs.Serve(addr, reg)
+}
+
+// PublishExperimentTable exposes a finished table's summary gauges
+// (per-column means, miss rates) on a live registry.
+func PublishExperimentTable(reg *ObsRegistry, tb *ExperimentTable) {
+	harness.PublishTable(reg, tb)
 }
