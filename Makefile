@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build test vet race fmt-check bench bench-all trace-demo sweep-check baselines
+.PHONY: ci build test vet race fmt-check bench bench-all bench-check trace-demo sweep-check baselines obs-smoke
 
-ci: vet build race fmt-check sweep-check
+ci: vet build race fmt-check sweep-check bench-check obs-smoke
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,23 @@ bench:
 # bench-all sweeps every benchmark once (no JSON artifact).
 bench-all:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# bench-check is the bench-regression gate: a fresh run of the tracked
+# benchmarks diffed against the committed BENCH_sweep.json under per-metric
+# relative tolerances, with a PASS/DRIFT report. Advisory in ci (single
+# 1x-iteration timings are noisy); drop -advisory to enforce, and
+# regenerate the baseline with `make bench` after intentional perf changes.
+bench-check:
+	{ $(GO) test -bench='BenchmarkSweepWorkerPool' -benchtime=1x -run='^$$' ./internal/sweep; \
+	  $(GO) test -bench='BenchmarkPHYEndToEnd' -benchtime=1x -run='^$$' .; } \
+	| $(GO) run ./cmd/benchjson -check BENCH_sweep.json -advisory
+
+# obs-smoke proves the distributed observability plane end-to-end: a
+# two-worker push-enabled sweep's merged collector /metrics must be
+# byte-identical to a single-process sweep's (modulo wall-clock series),
+# and the collector must flush its final snapshot on SIGINT.
+obs-smoke:
+	sh scripts/obs-smoke.sh
 
 # trace-demo runs a traced 1000-subframe RT-OPEX simulation and renders the
 # per-core timeline plus migration-state tallies.

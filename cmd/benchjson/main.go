@@ -4,6 +4,19 @@
 //
 //	go test -bench 'Sweep' -benchtime 1x ./internal/sweep | benchjson -out BENCH_sweep.json
 //
+// With -check it is also the bench-regression gate: the fresh run on stdin
+// is compared against a committed baseline under per-metric relative
+// tolerances, with a PASS/DRIFT report:
+//
+//	go test -bench ... | benchjson -check BENCH_sweep.json -advisory
+//
+// Timing metrics from single-iteration CI runs are noisy, so the default
+// tolerances are wide (±60% on ns/op and derived rates) while allocation
+// metrics, which are nearly deterministic, are held tight (±10% on
+// allocs/op). Override any of them with repeated -tol metric=rel flags.
+// -advisory reports drift without failing the exit code — the mode `make
+// ci` uses, where the gate should inform rather than block.
+//
 // Non-benchmark lines (PASS, ok, goos/goarch headers) pass through to
 // stderr unchanged so the run stays readable in CI logs.
 package main
@@ -14,12 +27,46 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"rtopex/internal/benchparse"
 )
 
+// defaultTolerances are the per-metric relative drift bounds -check applies
+// unless overridden with -tol.
+var defaultTolerances = map[string]float64{
+	"ns/op":       0.60,
+	"shards/s":    0.60,
+	"us/subframe": 0.60,
+	"B/op":        0.30,
+	"allocs/op":   0.10,
+}
+
+// tolFlags accumulates repeated -tol metric=rel overrides.
+type tolFlags map[string]float64
+
+func (t tolFlags) String() string { return fmt.Sprint(map[string]float64(t)) }
+
+func (t tolFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want metric=rel, got %q", s)
+	}
+	rel, err := strconv.ParseFloat(v, 64)
+	if err != nil || rel < 0 {
+		return fmt.Errorf("bad tolerance %q", v)
+	}
+	t[strings.TrimSpace(k)] = rel
+	return nil
+}
+
 func main() {
-	out := flag.String("out", "", "write JSON here (default stdout)")
+	out := flag.String("out", "", "write JSON here (default stdout when -check is off)")
+	check := flag.String("check", "", "compare the fresh run against this baseline JSON and report PASS/DRIFT")
+	advisory := flag.Bool("advisory", false, "with -check: report drift but exit 0")
+	tols := tolFlags{}
+	flag.Var(tols, "tol", "override one metric's relative tolerance for -check (repeatable, e.g. -tol ns/op=0.3)")
 	flag.Parse()
 
 	var lines []string
@@ -38,20 +85,72 @@ func main() {
 	if len(doc.Benchmarks) == 0 {
 		fail(fmt.Errorf("no benchmark result lines on stdin"))
 	}
+
+	if *out != "" || *check == "" {
+		writeDoc(doc, *out)
+	}
+	if *check != "" {
+		os.Exit(runCheck(doc, *check, tols, *advisory))
+	}
+}
+
+func writeDoc(doc benchparse.Doc, out string) {
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fail(err)
 	}
 	enc = append(enc, '\n')
-
-	if *out == "" {
+	if out == "" {
 		os.Stdout.Write(enc)
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
 		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(doc.Benchmarks), *out)
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(doc.Benchmarks), out)
+}
+
+// runCheck diffs the fresh doc against the baseline file and returns the
+// process exit code.
+func runCheck(fresh benchparse.Doc, path string, tols tolFlags, advisory bool) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	var base benchparse.Doc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fail(fmt.Errorf("parse baseline %s: %v", path, err))
+	}
+
+	opts := benchparse.CompareOptions{Tolerances: map[string]float64{}, Default: 0.5}
+	for k, v := range defaultTolerances {
+		opts.Tolerances[k] = v
+	}
+	for k, v := range tols {
+		opts.Tolerances[k] = v
+	}
+
+	metrics := 0
+	for _, b := range base.Benchmarks {
+		metrics += len(b.Metrics)
+	}
+	drifts := benchparse.Compare(base, fresh, opts)
+	if len(drifts) == 0 {
+		fmt.Fprintf(os.Stderr, "bench-check: PASS — %d metric(s) across %d benchmark(s) within tolerance of %s\n",
+			metrics, len(base.Benchmarks), path)
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "bench-check: DRIFT — %d of %d metric(s) outside tolerance of %s:\n",
+		len(drifts), metrics, path)
+	for _, d := range drifts {
+		fmt.Fprintf(os.Stderr, "  %s\n", d)
+	}
+	fmt.Fprintln(os.Stderr, "bench-check: regenerate the baseline with `make bench` after an intentional perf change")
+	if advisory {
+		fmt.Fprintln(os.Stderr, "bench-check: advisory mode, not failing the build")
+		return 0
+	}
+	return 1
 }
 
 func fail(err error) {

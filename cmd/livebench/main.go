@@ -38,6 +38,8 @@ func main() {
 		dilation  = flag.Float64("dilation", 50, "subframe-clock dilation factor")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		httpAddr  = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060) during the run")
+		pushAddr  = flag.String("push", "", "stream registry snapshots to the obscollect collector at this address (host:port)")
+		pushEvery = flag.Duration("push-interval", 2*time.Second, "interval between pushes for -push")
 	)
 	flag.Parse()
 
@@ -56,6 +58,28 @@ func main() {
 		}
 		defer stop()
 		fmt.Fprintf(os.Stderr, "livebench: observability endpoint on http://%s/ (metrics, vars, pprof)\n", bound)
+	}
+	var stopPush func() error
+	if *pushAddr != "" {
+		pusher, err := obs.NewPusher(obs.PusherConfig{
+			Addr:   *pushAddr,
+			Source: obs.DefaultSource(obs.L("role", "livebench")),
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "livebench: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "livebench: -push: %v\n", err)
+			os.Exit(1)
+		}
+		// Periodic pushes keep the collector's fleet view live during the
+		// run; the deferred stop sends the final (complete) state.
+		stopPush = pusher.StartPeriodic(reg, *pushEvery)
+		defer func() {
+			if err := stopPush(); err != nil {
+				fmt.Fprintf(os.Stderr, "livebench: %v\n", err)
+			}
+		}()
 	}
 	acct := obs.NewCoreAccountant()
 

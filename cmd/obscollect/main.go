@@ -1,0 +1,113 @@
+// Command obscollect is the central observability collector of a
+// distributed rtopex fleet: workers (sweep shards, livebench runs) push
+// full registry snapshots to it over HTTP, and it serves the exact
+// cross-source merge — the single pane of glass the per-process `-http`
+// endpoints cannot provide.
+//
+//	obscollect -listen :9090 -stale 1m -final merged.json
+//
+// Endpoints:
+//
+//	POST /push     wire snapshot ingest (what `rtopex -push` sends)
+//	GET  /metrics  merged Prometheus exposition, byte-comparable to a
+//	               single process running the whole fleet's work
+//	GET  /         live fleet dashboard (sources, sweep progress, worker
+//	               occupancy, per-experiment miss rates, per-core load)
+//	GET  /sources  per-source push ledger
+//	GET  /dump     full state as JSON
+//
+// Sources that stop pushing without a final snapshot (crashed workers) are
+// evicted after -stale of silence. On SIGINT/SIGTERM the final merged
+// snapshot is flushed to -final as JSON for archival, then the process
+// exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rtopex/internal/obs"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":9090", "address to serve on (use 127.0.0.1:0 for an ephemeral port)")
+		stale    = flag.Duration("stale", time.Minute, "evict non-final sources silent longer than this (0 = never)")
+		final    = flag.String("final", "", "flush the merged snapshot to this JSON file on shutdown")
+		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+		quiet    = flag.Bool("quiet", false, "suppress per-source log lines")
+	)
+	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "obscollect: "+format+"\n", args...)
+	}
+	clogf := logf
+	if *quiet {
+		clogf = nil
+	}
+	col := obs.NewCollector(obs.CollectorConfig{Stale: *stale, Logf: clogf})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		logf("listen: %v", err)
+		os.Exit(1)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			logf("addr-file: %v", err)
+			os.Exit(1)
+		}
+	}
+	logf("listening on http://%s/ (push, metrics, sources, dump)", bound)
+
+	srv := &http.Server{Handler: col.Handler()}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			logf("serve: %v", err)
+			os.Exit(1)
+		}
+	}()
+
+	// Background eviction keeps the dashboard honest even when nobody
+	// scrapes (the read paths also evict lazily).
+	if *stale > 0 {
+		go func() {
+			t := time.NewTicker(*stale / 2)
+			defer t.Stop()
+			for range t.C {
+				col.EvictStale()
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	logf("%s: shutting down", s)
+	_ = srv.Close()
+
+	if *final != "" {
+		f, err := os.Create(*final)
+		if err != nil {
+			logf("final: %v", err)
+			os.Exit(1)
+		}
+		if err := col.WriteDump(f); err != nil {
+			logf("final: %v", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			logf("final: %v", err)
+			os.Exit(1)
+		}
+		logf("flushed merged snapshot (%d source(s)) to %s", len(col.Sources()), *final)
+	}
+}

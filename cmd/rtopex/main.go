@@ -7,6 +7,11 @@
 //	rtopex -all [-quick]
 //	rtopex -all -quick -parallel [-out sweep.jsonl] [-resume]
 //	rtopex -all -quick -parallel -skip-measured -baseline testdata/baselines/quick.jsonl
+//	rtopex -exp fig15,fig16 -quick -parallel -push 127.0.0.1:9090
+//
+// -exp accepts a comma-separated list, which is how a fleet splits the
+// registry across machines; -push streams the live registry to a central
+// cmd/obscollect collector after every finished experiment.
 //
 // Each experiment prints an aligned text table with notes tying the output
 // back to the paper's claims. Runs are deterministic for a given seed; a
@@ -17,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"rtopex"
@@ -45,14 +51,18 @@ func main() {
 		skipMeas = flag.Bool("skip-measured", false, "exclude wall-clock-dependent experiments (fig4)")
 
 		// Observability: opt-in HTTP plane with Prometheus /metrics,
-		// /debug/vars (expvar) and /debug/pprof/ for profiling live runs.
+		// /debug/vars (expvar) and /debug/pprof/ for profiling live runs,
+		// plus push streaming to a central obscollect fleet collector.
 		httpAddr = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060) for the duration of the run")
+		pushAddr = flag.String("push", "", "stream registry snapshots to the obscollect collector at this address (host:port)")
 	)
 	flag.Parse()
 
 	var reg *rtopex.ObsRegistry
-	if *httpAddr != "" {
+	if *httpAddr != "" || *pushAddr != "" {
 		reg = rtopex.NewObsRegistry()
+	}
+	if *httpAddr != "" {
 		bound, stop, err := rtopex.ServeObs(*httpAddr, reg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rtopex: -http: %v\n", err)
@@ -60,6 +70,23 @@ func main() {
 		}
 		defer stop()
 		fmt.Fprintf(os.Stderr, "rtopex: observability endpoint on http://%s/ (metrics, vars, pprof)\n", bound)
+	}
+	var pusher *rtopex.ObsPusher
+	if *pushAddr != "" {
+		var err error
+		pusher, err = rtopex.NewObsPusher(rtopex.ObsPusherConfig{
+			Addr: *pushAddr,
+			Source: rtopex.DefaultObsSource(
+				rtopex.ObsL("role", "rtopex"),
+				rtopex.ObsL("exps", expLabel(*exp, *all))),
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "rtopex: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtopex: -push: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	if *list {
@@ -85,7 +112,7 @@ func main() {
 	case *all:
 		// Empty means the whole registry to the sweep engine.
 	case *exp != "":
-		ids = []string{*exp}
+		ids = splitIDs(*exp)
 	default:
 		fmt.Fprintln(os.Stderr, "rtopex: specify -exp <id>, -all, or -list")
 		flag.Usage()
@@ -98,7 +125,7 @@ func main() {
 		os.Exit(runSweep(ids, opts, sweepFlags{
 			parallel: *parallel, workers: *workers, out: *out, resume: *resume,
 			baseline: *baseline, replicas: *replicas, timeout: *timeout,
-			skipMeasured: *skipMeas, format: *format, obs: reg,
+			skipMeasured: *skipMeas, format: *format, obs: reg, push: pusher,
 		}))
 	}
 
@@ -114,12 +141,39 @@ func main() {
 		}
 		if reg != nil {
 			rtopex.PublishExperimentTable(reg, tb)
+			if err := pusher.Push(reg); err != nil {
+				fmt.Fprintf(os.Stderr, "rtopex: %v\n", err)
+			}
 		}
 		printTable(tb, *format)
 		if *format != "csv" {
 			fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
 		}
 	}
+	if err := pusher.PushFinal(reg); err != nil {
+		fmt.Fprintf(os.Stderr, "rtopex: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// splitIDs parses -exp's comma-separated experiment list.
+func splitIDs(s string) []string {
+	var ids []string
+	for _, id := range strings.Split(s, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// expLabel renders the source label describing which experiments (the
+// "shard range") this process pushes for.
+func expLabel(exp string, all bool) string {
+	if all || exp == "" {
+		return "all"
+	}
+	return strings.Join(splitIDs(exp), ",")
 }
 
 func printTable(tb *rtopex.ExperimentTable, format string) {
@@ -143,6 +197,7 @@ type sweepFlags struct {
 	skipMeasured bool
 	format       string
 	obs          *rtopex.ObsRegistry
+	push         *rtopex.ObsPusher
 }
 
 // runSweep drives the sweep engine and returns the process exit code.
@@ -162,6 +217,7 @@ func runSweep(ids []string, opts rtopex.ExperimentOptions, f sweepFlags) int {
 		Resume:       f.resume,
 		Progress:     os.Stderr,
 		Obs:          f.obs,
+		Push:         f.push,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rtopex: sweep: %v\n", err)

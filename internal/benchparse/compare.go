@@ -1,0 +1,103 @@
+package benchparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CompareOptions configure the bench-regression gate. Benchmarks are noisy
+// — especially single-iteration CI runs — so the gate speaks in relative
+// tolerances per metric unit, not exact equality like the sweep gate.
+type CompareOptions struct {
+	// Tolerances maps metric unit (e.g. "ns/op", "shards/s") to the allowed
+	// relative drift; metrics not listed use Default.
+	Tolerances map[string]float64
+	// Default is the relative tolerance for unlisted metrics.
+	Default float64
+}
+
+func (o CompareOptions) tolerance(metric string) float64 {
+	if t, ok := o.Tolerances[metric]; ok {
+		return t
+	}
+	return o.Default
+}
+
+// Drift is one metric outside its tolerance, or a benchmark/metric the
+// fresh run no longer reports.
+type Drift struct {
+	Benchmark string
+	// Metric is empty when the whole benchmark is missing from the fresh run.
+	Metric    string
+	Base, Got float64
+	// Rel is the observed relative drift |got−base| / max(|base|,|got|);
+	// Tol is the bound it exceeded.
+	Rel, Tol float64
+	Missing  bool
+}
+
+func (d Drift) String() string {
+	if d.Missing && d.Metric == "" {
+		return fmt.Sprintf("%s: missing from fresh run", d.Benchmark)
+	}
+	if d.Missing {
+		return fmt.Sprintf("%s %s: missing from fresh run (baseline %g)", d.Benchmark, d.Metric, d.Base)
+	}
+	return fmt.Sprintf("%s %s: baseline %g, got %g (%+.1f%%, tolerance ±%.0f%%)",
+		d.Benchmark, d.Metric, d.Base, d.Got, 100*relDelta(d.Base, d.Got), 100*d.Tol)
+}
+
+// relDelta is the signed relative change from base to got, scaled by the
+// larger magnitude (symmetric, finite for base = 0 unless both are 0).
+func relDelta(base, got float64) float64 {
+	den := math.Max(math.Abs(base), math.Abs(got))
+	if den == 0 {
+		return 0
+	}
+	return (got - base) / den
+}
+
+// Compare diffs a fresh benchmark run against a baseline document under
+// per-metric relative tolerances: a metric passes when
+// |got−base| ≤ tol·max(|base|,|got|). Like sweep.Compare, benchmarks or
+// metrics present only in the fresh run are ignored (adding coverage is not
+// a regression), but baseline entries missing from the fresh run are drifts
+// — a silently dropped benchmark must not pass the gate. Results are sorted
+// by (benchmark, metric).
+func Compare(base, fresh Doc, o CompareOptions) []Drift {
+	freshBy := make(map[string]Benchmark, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		freshBy[b.Name] = b
+	}
+	var drifts []Drift
+	for _, b := range base.Benchmarks {
+		f, ok := freshBy[b.Name]
+		if !ok {
+			drifts = append(drifts, Drift{Benchmark: b.Name, Missing: true})
+			continue
+		}
+		for metric, bv := range b.Metrics {
+			gv, ok := f.Metrics[metric]
+			if !ok {
+				drifts = append(drifts, Drift{Benchmark: b.Name, Metric: metric, Base: bv, Missing: true})
+				continue
+			}
+			tol := o.tolerance(metric)
+			if math.Abs(gv-bv) > tol*math.Max(math.Abs(bv), math.Abs(gv)) {
+				drifts = append(drifts, Drift{
+					Benchmark: b.Name, Metric: metric,
+					Base: bv, Got: gv,
+					Rel: math.Abs(relDelta(bv, gv)), Tol: tol,
+				})
+			}
+		}
+	}
+	sort.Slice(drifts, func(i, j int) bool {
+		if drifts[i].Benchmark != drifts[j].Benchmark {
+			return drifts[i].Benchmark < drifts[j].Benchmark
+		}
+		return drifts[i].Metric < drifts[j].Metric
+	})
+	return drifts
+}

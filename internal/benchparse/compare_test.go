@@ -1,0 +1,92 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func doc(bs ...Benchmark) Doc { return Doc{Benchmarks: bs} }
+
+func bench(name string, metrics map[string]float64) Benchmark {
+	return Benchmark{Name: name, Procs: 1, Iters: 1, Metrics: metrics}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	base := doc(bench("BenchmarkX", map[string]float64{"ns/op": 1000, "allocs/op": 10}))
+	fresh := doc(bench("BenchmarkX", map[string]float64{"ns/op": 1400, "allocs/op": 10}))
+	drifts := Compare(base, fresh, CompareOptions{Default: 0.5})
+	if len(drifts) != 0 {
+		t.Fatalf("drifts = %v, want none", drifts)
+	}
+}
+
+func TestCompareFlagsExceededTolerance(t *testing.T) {
+	base := doc(bench("BenchmarkX", map[string]float64{"ns/op": 1000, "allocs/op": 10}))
+	fresh := doc(bench("BenchmarkX", map[string]float64{"ns/op": 1400, "allocs/op": 13}))
+	drifts := Compare(base, fresh, CompareOptions{
+		Default:    0.5,
+		Tolerances: map[string]float64{"allocs/op": 0.1},
+	})
+	if len(drifts) != 1 || drifts[0].Metric != "allocs/op" {
+		t.Fatalf("drifts = %v, want one allocs/op drift", drifts)
+	}
+	s := drifts[0].String()
+	if !strings.Contains(s, "allocs/op") || !strings.Contains(s, "±10%") {
+		t.Fatalf("drift rendering: %s", s)
+	}
+}
+
+// The relative bound uses the larger magnitude, so improvements and
+// regressions gate symmetrically: 1000→1400 and 1400→1000 both measure
+// 28.6% drift.
+func TestCompareSymmetric(t *testing.T) {
+	a := doc(bench("BenchmarkX", map[string]float64{"ns/op": 1000}))
+	b := doc(bench("BenchmarkX", map[string]float64{"ns/op": 1400}))
+	opts := CompareOptions{Default: 0.25}
+	if got := len(Compare(a, b, opts)); got != 1 {
+		t.Fatalf("a→b drifts = %d, want 1", got)
+	}
+	if got := len(Compare(b, a, opts)); got != 1 {
+		t.Fatalf("b→a drifts = %d, want 1", got)
+	}
+}
+
+func TestCompareMissingBenchmarkAndMetric(t *testing.T) {
+	base := doc(
+		bench("BenchmarkGone", map[string]float64{"ns/op": 5}),
+		bench("BenchmarkKept", map[string]float64{"ns/op": 5, "shards/s": 100}),
+	)
+	fresh := doc(
+		bench("BenchmarkKept", map[string]float64{"ns/op": 5}),
+		bench("BenchmarkNew", map[string]float64{"ns/op": 1}),
+	)
+	drifts := Compare(base, fresh, CompareOptions{Default: 0.5})
+	if len(drifts) != 2 {
+		t.Fatalf("drifts = %v, want missing benchmark + missing metric", drifts)
+	}
+	if !drifts[0].Missing || drifts[0].Benchmark != "BenchmarkGone" || drifts[0].Metric != "" {
+		t.Fatalf("drift 0 = %+v, want whole-benchmark missing", drifts[0])
+	}
+	if !drifts[1].Missing || drifts[1].Metric != "shards/s" {
+		t.Fatalf("drift 1 = %+v, want shards/s missing", drifts[1])
+	}
+	// New benchmarks in the fresh run are not regressions.
+	for _, d := range drifts {
+		if d.Benchmark == "BenchmarkNew" {
+			t.Fatalf("new benchmark flagged: %+v", d)
+		}
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	base := doc(bench("BenchmarkX", map[string]float64{"allocs/op": 0}))
+	same := doc(bench("BenchmarkX", map[string]float64{"allocs/op": 0}))
+	grew := doc(bench("BenchmarkX", map[string]float64{"allocs/op": 3}))
+	if drifts := Compare(base, same, CompareOptions{Default: 0.1}); len(drifts) != 0 {
+		t.Fatalf("0→0 drifted: %v", drifts)
+	}
+	// 0→3 is 100% relative drift against the larger magnitude: flagged.
+	if drifts := Compare(base, grew, CompareOptions{Default: 0.5}); len(drifts) != 1 {
+		t.Fatalf("0→3 drifts = %v, want 1", drifts)
+	}
+}

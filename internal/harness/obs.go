@@ -38,6 +38,10 @@ func PublishTable(reg *obs.Registry, tb *Table) {
 	}
 	reg.SetHelp("rtopex_experiment_rows", "Rows produced by the experiment.")
 	reg.Gauge("rtopex_experiment_rows", obs.L("experiment", tb.ID)).Set(float64(len(tb.Rows)))
+	// A counter (not a gauge) so the fleet-wide total stays exact when many
+	// sweep workers' registries merge on a collector.
+	reg.SetHelp("rtopex_experiment_done_total", "Completed runs of the experiment (sums across sweep workers).")
+	reg.Counter("rtopex_experiment_done_total", obs.L("experiment", tb.ID)).Inc()
 	reg.SetHelp("rtopex_experiment_column_mean", "Mean of the experiment column's numeric cells.")
 	reg.SetHelp("rtopex_experiment_miss_rate", "Mean deadline-miss rate of the experiment's miss column.")
 	for col, stats := range columnStats(tb) {

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// PushPath is the collector endpoint wire snapshots are POSTed to.
+const PushPath = "/push"
+
+// PusherConfig configures a push client.
+type PusherConfig struct {
+	// Addr is the collector's address ("host:port" or "http://host:port").
+	Addr string
+	// Source identifies this process; zero means DefaultSource().
+	Source Source
+	// Timeout bounds one HTTP attempt (default 5s).
+	Timeout time.Duration
+	// Retries is the number of re-attempts after a failed push (default 3).
+	// Network errors and 5xx responses are retried; 4xx responses are not —
+	// a rejected envelope will not improve by resending.
+	Retries int
+	// Backoff is the initial retry delay, doubling per attempt and capped
+	// at 1s (default 100ms).
+	Backoff time.Duration
+	// Client substitutes the HTTP client (tests); nil builds one from
+	// Timeout.
+	Client *http.Client
+	// Logf, when non-nil, receives transient push warnings (retries).
+	Logf func(format string, args ...any)
+}
+
+// Pusher streams registry snapshots to a collector with bounded
+// retry/backoff. Pushes are serialized by an internal mutex so sequence
+// numbers and snapshot states leave in a consistent order — a later push
+// always carries a superset of a former one's counts. All methods are
+// no-ops on a nil receiver, so call sites can wire an optional pusher
+// without branching.
+type Pusher struct {
+	mu     sync.Mutex
+	cfg    PusherConfig
+	url    string
+	client *http.Client
+	seq    uint64
+}
+
+// NewPusher builds a push client for the collector at cfg.Addr.
+func NewPusher(cfg PusherConfig) (*Pusher, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("obs: pusher needs a collector address")
+	}
+	base := cfg.Addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimSuffix(base, "/")
+	if cfg.Source.ID == "" {
+		cfg.Source = DefaultSource(cfg.Source.Labels...)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	} else if cfg.Retries == 0 {
+		cfg.Retries = 3
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 100 * time.Millisecond
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.Timeout}
+	}
+	return &Pusher{cfg: cfg, url: base + PushPath, client: client}, nil
+}
+
+// Source returns the identity pushes are labeled with.
+func (p *Pusher) Source() Source {
+	if p == nil {
+		return Source{}
+	}
+	return p.cfg.Source
+}
+
+// Push snapshots reg and sends it. Nil receiver or nil registry is a no-op.
+func (p *Pusher) Push(reg *Registry) error { return p.push(reg, false) }
+
+// PushFinal sends reg's state marked final: the collector keeps a final
+// source even past the staleness window, since no further pushes are
+// expected from it.
+func (p *Pusher) PushFinal(reg *Registry) error { return p.push(reg, true) }
+
+func (p *Pusher) push(reg *Registry, final bool) error {
+	if p == nil || reg == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seq++
+	ws := &WireSnapshot{Source: p.cfg.Source, Seq: p.seq, Final: final, Snapshot: reg.Snapshot()}
+	var body bytes.Buffer
+	if err := EncodeWire(&body, ws); err != nil {
+		return err
+	}
+	// The body is encoded once and resent verbatim, so a retry after a lost
+	// response carries the same seq and the collector deduplicates it.
+	backoff := p.cfg.Backoff
+	attempts := p.cfg.Retries + 1
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		err := p.attempt(body.Bytes())
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if se, ok := err.(*pushStatusError); ok && se.status >= 400 && se.status < 500 {
+			return fmt.Errorf("obs: push to %s rejected: %v", p.url, err)
+		}
+		if i < attempts-1 {
+			if p.cfg.Logf != nil {
+				p.cfg.Logf("obs: push to %s attempt %d/%d failed (%v), retrying in %s",
+					p.url, i+1, attempts, err, backoff)
+			}
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > time.Second {
+				backoff = time.Second
+			}
+		}
+	}
+	return fmt.Errorf("obs: push to %s failed after %d attempt(s): %v", p.url, attempts, lastErr)
+}
+
+func (p *Pusher) attempt(body []byte) error {
+	resp, err := p.client.Post(p.url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return &pushStatusError{status: resp.StatusCode, msg: strings.TrimSpace(string(msg))}
+	}
+	return nil
+}
+
+type pushStatusError struct {
+	status int
+	msg    string
+}
+
+func (e *pushStatusError) Error() string {
+	if e.msg == "" {
+		return fmt.Sprintf("HTTP %d", e.status)
+	}
+	return fmt.Sprintf("HTTP %d: %s", e.status, e.msg)
+}
+
+// StartPeriodic pushes reg every interval until the returned stop func is
+// called; stop sends one last final push and returns its error. Periodic
+// push errors are transient (the next tick retries from current state) and
+// reported via Logf only.
+func (p *Pusher) StartPeriodic(reg *Registry, interval time.Duration) (stop func() error) {
+	if p == nil || reg == nil {
+		return func() error { return nil }
+	}
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if err := p.Push(reg); err != nil && p.cfg.Logf != nil {
+					p.cfg.Logf("%v", err)
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	var finalErr error
+	return func() error {
+		once.Do(func() {
+			close(done)
+			<-finished
+			finalErr = p.PushFinal(reg)
+		})
+		return finalErr
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"sync/atomic"
 )
 
 // Handler returns an http.Handler exposing the registry and the standard Go
@@ -38,15 +39,26 @@ func Handler(reg *Registry) http.Handler {
 	return mux
 }
 
-var expvarOnce sync.Once
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
 
 // publishExpvar mirrors the registry under the expvar name "rtopex" so
-// /debug/vars carries the same series as /metrics. Guarded by a Once:
-// expvar.Publish panics on duplicate names, and tests (or a retried Serve)
-// may build several registries per process — last registry wins per call.
+// /debug/vars carries the same series as /metrics. expvar.Publish panics on
+// duplicate names, so the closure is published exactly once and reads the
+// current registry through an atomic pointer — the last registry passed
+// wins for every subsequent /debug/vars render, even when tests (or a
+// retried Serve) build several registries per process.
 func publishExpvar(reg *Registry) {
+	expvarReg.Store(reg)
 	expvarOnce.Do(func() {
-		expvar.Publish("rtopex", expvar.Func(func() any { return reg.Snapshot() }))
+		expvar.Publish("rtopex", expvar.Func(func() any {
+			if r := expvarReg.Load(); r != nil {
+				return r.Snapshot()
+			}
+			return nil
+		}))
 	})
 }
 

@@ -80,6 +80,36 @@ func TestServeBindsAndStops(t *testing.T) {
 	}
 }
 
+// TestExpvarTracksLatestRegistry is the regression test for the stale
+// /debug/vars bug: the expvar closure used to capture the first registry
+// ever served for the process lifetime, so a second Serve kept exposing the
+// old one. The published closure must follow the latest registry.
+func TestExpvarTracksLatestRegistry(t *testing.T) {
+	first := NewRegistry()
+	first.Counter("expvar_first_total").Inc()
+	publishExpvar(first)
+
+	second := NewRegistry()
+	second.Counter("expvar_second_total").Add(2)
+	addr, stop, err := Serve("127.0.0.1:0", second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "expvar_second_total") {
+		t.Fatalf("/debug/vars missing the latest registry's series:\n%s", body)
+	}
+	if strings.Contains(string(body), "expvar_first_total") {
+		t.Fatalf("/debug/vars still serving the first registry:\n%s", body)
+	}
+}
+
 func TestRuntimeSampler(t *testing.T) {
 	reg := NewRegistry()
 	stop := StartRuntimeSampler(reg, time.Hour) // immediate sample only

@@ -29,13 +29,18 @@ type HistogramSeries struct {
 }
 
 // Snapshot is the serializable state of a registry at one instant. Series
-// are sorted by canonical id, buckets by index, so identical registry
-// states yield byte-identical JSON — the property the sweep's artifact
-// determinism guarantee is stated over.
+// are sorted by canonical id, buckets by index, and Help keys by name (Go
+// marshals map keys sorted), so identical registry states yield
+// byte-identical JSON — the property the sweep's artifact determinism
+// guarantee is stated over.
 type Snapshot struct {
 	Counters   []CounterValue    `json:"counters,omitempty"`
 	Gauges     []GaugeValue      `json:"gauges,omitempty"`
 	Histograms []HistogramSeries `json:"histograms,omitempty"`
+	// Help carries the families' HELP text (name → help) so a snapshot
+	// merged on another machine renders the same /metrics exposition as the
+	// registry it came from.
+	Help map[string]string `json:"help,omitempty"`
 }
 
 // Snapshot captures the registry's current state. Unset gauges are skipped.
@@ -44,6 +49,12 @@ func (r *Registry) Snapshot() *Snapshot {
 	defer r.mu.Unlock()
 	snap := &Snapshot{}
 	for _, f := range r.fams {
+		if f.help != "" {
+			if snap.Help == nil {
+				snap.Help = map[string]string{}
+			}
+			snap.Help[f.name] = f.help
+		}
 		for _, s := range f.series {
 			switch f.k {
 			case counterKind:
@@ -77,6 +88,9 @@ func (r *Registry) MergeSnapshot(s *Snapshot) {
 	if s == nil {
 		return
 	}
+	for name, help := range s.Help {
+		r.SetHelp(name, help)
+	}
 	for _, c := range s.Counters {
 		r.Counter(c.Name, c.Labels...).Add(c.Value)
 	}
@@ -95,6 +109,28 @@ func (s *Snapshot) Merge(other *Snapshot) *Snapshot {
 	r.MergeSnapshot(s)
 	r.MergeSnapshot(other)
 	return r.Snapshot()
+}
+
+// CounterValue looks up one counter series by identity (false when absent).
+func (s *Snapshot) CounterValue(name string, labels ...Label) (int64, bool) {
+	id := SeriesID(name, labels)
+	for _, c := range s.Counters {
+		if SeriesID(c.Name, c.Labels) == id {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// GaugeValue looks up one gauge series by identity (false when absent).
+func (s *Snapshot) GaugeValue(name string, labels ...Label) (float64, bool) {
+	id := SeriesID(name, labels)
+	for _, g := range s.Gauges {
+		if SeriesID(g.Name, g.Labels) == id {
+			return g.Value, true
+		}
+	}
+	return 0, false
 }
 
 // WriteText renders the snapshot as aligned human-readable lines: counters

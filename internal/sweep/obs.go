@@ -18,9 +18,13 @@ type sweepObs struct {
 	done    *obs.Counter
 	failed  *obs.Counter
 	seconds *obs.Histogram
+	// pusher, when non-nil, streams the registry to a central collector
+	// after every finished unit (the distributed-sweep live view). The
+	// pusher serializes its own sends, so concurrent workers are safe.
+	pusher *obs.Pusher
 }
 
-func newSweepObs(reg *obs.Registry, total, pending, reused, workers int) *sweepObs {
+func newSweepObs(reg *obs.Registry, pusher *obs.Pusher, total, pending, reused, workers int) *sweepObs {
 	if reg == nil {
 		return nil
 	}
@@ -42,6 +46,7 @@ func newSweepObs(reg *obs.Registry, total, pending, reused, workers int) *sweepO
 		done:    reg.Counter("rtopex_sweep_units_done_total"),
 		failed:  reg.Counter("rtopex_sweep_units_failed_total"),
 		seconds: reg.Histogram("rtopex_sweep_unit_seconds"),
+		pusher:  pusher,
 	}
 	s.running.Set(0)
 	return s
@@ -61,9 +66,22 @@ func (s *sweepObs) unitFinished(u Unit, rec *Record, fail *Failure, d time.Durat
 	s.running.Add(-1)
 	s.done.Inc()
 	s.seconds.Observe(d.Seconds())
-	if fail != nil {
+	if fail == nil {
+		harness.PublishTable(s.reg, rec.Table)
+	} else {
 		s.failed.Inc()
-		return
 	}
-	harness.PublishTable(s.reg, rec.Table)
+	// Per-unit pushes are best-effort: a transient failure is absorbed by
+	// the next unit's push carrying strictly more state, and the sweep's
+	// final push (which does gate the run) retries from the full registry.
+	_ = s.pusher.Push(s.reg)
+}
+
+// finalPush flushes the registry's end-of-sweep state, marked final so the
+// collector retains this source past the staleness window.
+func (s *sweepObs) finalPush() error {
+	if s == nil || s.pusher == nil {
+		return nil
+	}
+	return s.pusher.PushFinal(s.reg)
 }

@@ -1,0 +1,147 @@
+package sweep
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"rtopex/internal/harness"
+	"rtopex/internal/obs"
+)
+
+// pushRunFn is a deterministic fake experiment: the table depends only on
+// (id, seed), like the real harness.
+func pushRunFn(id string, o harness.Options) (*harness.Table, error) {
+	tb := &harness.Table{ID: id, Title: id, Columns: []string{"x", "miss_rate"}}
+	tb.AddRow("1", float64(o.Resolve().Seed%97)/100)
+	tb.AddRow("2", float64(len(id))/10)
+	return tb, nil
+}
+
+// TestDistributedSweepMergesToSerial is the tentpole's contract in
+// miniature: two sweep processes splitting the experiment list and pushing
+// to one collector must merge to exactly the registry a single sweep over
+// the union builds — counters, gauges, and the per-experiment series, over
+// the wire.
+func TestDistributedSweepMergesToSerial(t *testing.T) {
+	col := obs.NewCollector(obs.CollectorConfig{})
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+
+	splits := [][]string{{"fig15", "fig17"}, {"fig16", "fig19"}}
+	for i, ids := range splits {
+		pusher, err := obs.NewPusher(obs.PusherConfig{
+			Addr:   srv.URL,
+			Source: obs.Source{ID: fmt.Sprintf("worker-%d", i)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(Config{
+			IDs:     ids,
+			Workers: 2,
+			Options: harness.Options{Quick: true, Seed: 11},
+			Obs:     obs.NewRegistry(),
+			Push:    pusher,
+			runFn:   pushRunFn,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	serial := obs.NewRegistry()
+	if _, err := Run(Config{
+		IDs:     []string{"fig15", "fig16", "fig17", "fig19"},
+		Workers: 2,
+		Options: harness.Options{Quick: true, Seed: 11},
+		Obs:     serial,
+		runFn:   pushRunFn,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	want, got := serial.Snapshot(), col.Merged()
+
+	// The per-unit wall-time histogram is the one wall-clock series — its
+	// bucket layout can never match across runs. Counts must still agree.
+	wantSec := dropHistogram(want, "rtopex_sweep_unit_seconds")
+	gotSec := dropHistogram(got, "rtopex_sweep_unit_seconds")
+	if wantSec.Count != gotSec.Count || wantSec.Count != 4 {
+		t.Fatalf("unit_seconds counts: serial %d, merged %d, want 4", wantSec.Count, gotSec.Count)
+	}
+	if !reflect.DeepEqual(want.Counters, got.Counters) {
+		t.Fatalf("merged counters differ from serial:\nserial %+v\nmerged %+v", want.Counters, got.Counters)
+	}
+	if !reflect.DeepEqual(want.Gauges, got.Gauges) {
+		t.Fatalf("merged gauges differ from serial:\nserial %+v\nmerged %+v", want.Gauges, got.Gauges)
+	}
+	if !reflect.DeepEqual(want.Histograms, got.Histograms) {
+		t.Fatalf("merged histograms differ from serial:\nserial %+v\nmerged %+v", want.Histograms, got.Histograms)
+	}
+
+	// Both workers pushed a final snapshot.
+	srcs := col.Sources()
+	if len(srcs) != 2 {
+		t.Fatalf("sources = %d, want 2", len(srcs))
+	}
+	for _, s := range srcs {
+		if !s.Final {
+			t.Fatalf("source %s not final: %+v", s.Source.ID, s)
+		}
+	}
+	// The fleet-wide per-experiment completion counters merged exactly.
+	for _, id := range []string{"fig15", "fig16", "fig17", "fig19"} {
+		if v, ok := got.CounterValue("rtopex_experiment_done_total", obs.L("experiment", id)); !ok || v != 1 {
+			t.Fatalf("experiment_done_total{%s} = %d (ok=%v), want 1", id, v, ok)
+		}
+	}
+}
+
+// dropHistogram removes one histogram family from the snapshot in place and
+// returns its value (zero when absent).
+func dropHistogram(s *obs.Snapshot, name string) obs.HistogramValue {
+	var out obs.HistogramValue
+	kept := s.Histograms[:0]
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			out = h.Value
+			continue
+		}
+		kept = append(kept, h)
+	}
+	s.Histograms = kept
+	return out
+}
+
+// TestSweepPushRequiresObs pins the config validation.
+func TestSweepPushRequiresObs(t *testing.T) {
+	p, err := obs.NewPusher(obs.PusherConfig{Addr: "127.0.0.1:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(Config{IDs: []string{"fig15"}, Push: p, runFn: pushRunFn}); err == nil {
+		t.Fatal("Run accepted Push without Obs")
+	}
+}
+
+// TestSweepFinalPushFailureIsError: a sweep that cannot deliver its final
+// state to the collector must say so, not succeed silently.
+func TestSweepFinalPushFailureIsError(t *testing.T) {
+	// An address nothing listens on; tiny retry budget keeps the test fast.
+	p, err := obs.NewPusher(obs.PusherConfig{Addr: "127.0.0.1:1", Retries: 1, Backoff: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(Config{
+		IDs:     []string{"fig15"},
+		Workers: 1,
+		Options: harness.Options{Quick: true, Seed: 3},
+		Obs:     obs.NewRegistry(),
+		Push:    p,
+		runFn:   pushRunFn,
+	})
+	if err == nil {
+		t.Fatal("sweep succeeded despite unreachable collector")
+	}
+}

@@ -63,6 +63,13 @@ type Config struct {
 	// every finished table's summary gauges — the series `rtopex -http`
 	// exposes for scraping mid-sweep.
 	Obs *obs.Registry
+	// Push, when non-nil (requires Obs), streams the live registry to a
+	// central collector: one push after every finished unit plus a final
+	// push when the sweep ends. Per-unit push failures are transient and
+	// only logged (the next unit's push carries a superset of the state);
+	// a failed final push is the sweep's error, since the collector's
+	// merged view would silently miss this worker's results.
+	Push *obs.Pusher
 
 	// runFn substitutes the experiment runner in tests; nil means
 	// harness.Run.
@@ -214,6 +221,9 @@ func (r *Result) SortedRecords() []*Record {
 
 // Run executes the sweep.
 func Run(cfg Config) (*Result, error) {
+	if cfg.Push != nil && cfg.Obs == nil {
+		return nil, errors.New("sweep: Config.Push requires Config.Obs (the registry being pushed)")
+	}
 	units, err := Units(cfg)
 	if err != nil {
 		return nil, err
@@ -259,7 +269,7 @@ func Run(cfg Config) (*Result, error) {
 		pending = append(pending, u)
 	}
 
-	sw := newSweepObs(cfg.Obs, len(units), len(pending), res.Reused, cfg.workers())
+	sw := newSweepObs(cfg.Obs, cfg.Push, len(units), len(pending), res.Reused, cfg.workers())
 
 	var (
 		mu       sync.Mutex
@@ -317,6 +327,9 @@ func Run(cfg Config) (*Result, error) {
 	close(jobs)
 	wg.Wait()
 	res.Wall = time.Since(start)
+	if err := sw.finalPush(); err != nil && firstErr == nil {
+		firstErr = err
+	}
 	if firstErr != nil {
 		return res, firstErr
 	}

@@ -283,6 +283,37 @@ type (
 	CoreReport = obs.CoreReport
 )
 
+// Distributed observability: workers push full registry snapshots to a
+// central collector (cmd/obscollect), which merges them exactly and serves
+// the unified fleet view. See internal/obs/README.md for the wire format.
+type (
+	// ObsLabel is one key=value dimension of a metric series.
+	ObsLabel = obs.Label
+	// ObsSource identifies one pushing process (host, pid, labels).
+	ObsSource = obs.Source
+	// ObsPusher streams snapshots to a collector with bounded retry.
+	ObsPusher = obs.Pusher
+	// ObsPusherConfig configures an ObsPusher.
+	ObsPusherConfig = obs.PusherConfig
+	// ObsCollector is the central merge point for pushed snapshots.
+	ObsCollector = obs.Collector
+	// ObsCollectorConfig configures an ObsCollector.
+	ObsCollectorConfig = obs.CollectorConfig
+)
+
+// ObsL is shorthand for constructing an ObsLabel.
+func ObsL(key, value string) ObsLabel { return obs.L(key, value) }
+
+// DefaultObsSource derives this process's push identity (hostname-pid).
+func DefaultObsSource(labels ...ObsLabel) ObsSource { return obs.DefaultSource(labels...) }
+
+// NewObsPusher builds a push client for the collector at cfg.Addr.
+func NewObsPusher(cfg ObsPusherConfig) (*ObsPusher, error) { return obs.NewPusher(cfg) }
+
+// NewObsCollector creates an empty collector (see cmd/obscollect for the
+// serving binary).
+func NewObsCollector(cfg ObsCollectorConfig) *ObsCollector { return obs.NewCollector(cfg) }
+
 // NewObsRegistry creates an empty metrics registry.
 func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
 
