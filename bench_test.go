@@ -7,6 +7,7 @@ package rtopex
 // The full-scale outputs are produced by `go run ./cmd/rtopex -all`.
 
 import (
+	"fmt"
 	"testing"
 
 	"rtopex/internal/bits"
@@ -102,9 +103,10 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 	}
 }
 
-// BenchmarkPHYEndToEnd measures the real Go chain: one full MCS-27
-// subframe decode per iteration.
-func BenchmarkPHYEndToEnd(b *testing.B) {
+// benchSubframe builds the canonical MCS-27, 2-antenna, 30 dB subframe the
+// PHY benchmarks decode (same seeds as the original BenchmarkPHYEndToEnd).
+func benchSubframe(b *testing.B) (*phy.Receiver, [][]complex128, float64) {
+	b.Helper()
 	cfg := PHYConfig{Bandwidth: BW10MHz, MCS: 27, Antennas: 2, RNTI: 1, CellID: 1}
 	tx, err := NewTransmitter(cfg)
 	if err != nil {
@@ -126,13 +128,81 @@ func BenchmarkPHYEndToEnd(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	return rx, iq, ch.N0()
+}
+
+// BenchmarkPHYEndToEnd measures the real Go chain: one full MCS-27
+// subframe decode per iteration.
+func BenchmarkPHYEndToEnd(b *testing.B) {
+	rx, iq, n0 := benchSubframe(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := rx.Process(iq, ch.N0())
+		res, err := rx.Process(iq, n0)
 		if err != nil || !res.OK {
 			b.Fatal("decode failed")
 		}
 	}
 	b.ReportMetric(b.Elapsed().Seconds()*1e6/float64(b.N), "us/subframe")
+}
+
+// benchStage isolates one pipeline stage: earlier stages run once to feed
+// it, then each iteration re-executes only the target stage's subtasks
+// (every stage rewrites its scratch from its inputs, so repeats are exact).
+func benchStage(b *testing.B, name phy.TaskName) {
+	b.Helper()
+	rx, iq, n0 := benchSubframe(b)
+	stages, err := rx.Pipeline(iq, n0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var target []func()
+	for _, st := range stages {
+		if st.Name == name {
+			target = st.Subtasks
+			break
+		}
+		for _, sub := range st.Subtasks {
+			sub()
+		}
+	}
+	if target == nil {
+		b.Fatalf("stage %q not in pipeline", name)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sub := range target {
+			sub()
+		}
+	}
+	b.ReportMetric(b.Elapsed().Seconds()*1e6/float64(b.N), "us/stage")
+}
+
+func BenchmarkPHYFFT(b *testing.B)    { benchStage(b, phy.TaskFFT) }
+func BenchmarkPHYDemod(b *testing.B)  { benchStage(b, phy.TaskDemod) }
+func BenchmarkPHYDecode(b *testing.B) { benchStage(b, phy.TaskDecode) }
+
+// BenchmarkPHYEndToEndParallel is the parallel fast path: the same subframe
+// decoded via a phy.Pool at increasing subtask fan-out. On a single-CPU
+// machine the workers>1 rows only add pool overhead; the speedup shows on
+// multicore hosts.
+func BenchmarkPHYEndToEndParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			rx, iq, n0 := benchSubframe(b)
+			pool := phy.NewPool(workers)
+			defer pool.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := pool.ProcessParallel(rx, iq, n0)
+				if err != nil || !res.OK {
+					b.Fatal("decode failed")
+				}
+			}
+			b.ReportMetric(float64(workers), "workers")
+			b.ReportMetric(b.Elapsed().Seconds()*1e6/float64(b.N), "us/subframe")
+		})
+	}
 }

@@ -36,6 +36,7 @@ func main() {
 		mcs       = flag.Int("mcs", 13, "fixed MCS, or -1 for trace-driven")
 		snr       = flag.Float64("snr", 30, "SNR in dB")
 		dilation  = flag.Float64("dilation", 50, "subframe-clock dilation factor")
+		phyWork   = flag.Int("phy-workers", 1, "subtask workers per core (parallel PHY fast path; ≤1 = serial)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		httpAddr  = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060) during the run")
 		pushAddr  = flag.String("push", "", "stream registry snapshots to the obscollect collector at this address (host:port)")
@@ -95,6 +96,7 @@ func main() {
 		MCS:          *mcs,
 		Profiles:     trace.DefaultProfiles,
 		Dilation:     *dilation,
+		PHYWorkers:   *phyWork,
 		Seed:         *seed,
 		Tracer:       acct,
 		Obs:          reg,

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	phyprof [-trials 3] [-antennas 1,2] [-snrs 10,20,30] [-seed 1]
+//	phyprof [-trials 3] [-antennas 1,2] [-snrs 10,20,30] [-seed 1] [-workers 1]
 package main
 
 import (
@@ -32,6 +32,7 @@ func main() {
 		snrList = flag.String("snrs", "10,20,30", "comma-separated SNRs (dB)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		mcsStep = flag.Int("mcs-step", 3, "MCS sweep step (1 = all 28)")
+		workers = flag.Int("workers", 1, "subtask workers for the parallel fast path (≤1 = serial)")
 	)
 	flag.Parse()
 
@@ -45,13 +46,19 @@ func main() {
 	}
 
 	r := stats.NewRNG(*seed)
+	var pool *phy.Pool
+	if *workers > 1 {
+		pool = phy.NewPool(*workers)
+		defer pool.Close()
+	}
+	arena := phy.NewArena()
 	var obs []model.Observation
 	fmt.Println("profiling Go PHY (this runs the full turbo decoder; expect minutes at scale)...")
 	for _, n := range ants {
 		for mcs := 0; mcs <= lte.MaxMCS; mcs += *mcsStep {
 			for _, snr := range snrs {
 				for trial := 0; trial < *trials; trial++ {
-					o, err := measureOne(r, mcs, n, snr)
+					o, err := measureOne(r, arena, pool, mcs, n, snr)
 					if err != nil {
 						fatal(err)
 					}
@@ -76,8 +83,10 @@ func main() {
 }
 
 // measureOne runs one full subframe through transmit → channel → receive
-// and returns the observation for the model fit.
-func measureOne(r *stats.RNG, mcs, antennas int, snrDB float64) (model.Observation, error) {
+// and returns the observation for the model fit. Receivers are borrowed
+// from the arena (so repeated cells reuse warmed scratch) and, when a pool
+// is given, the pipeline stages fan out across its workers.
+func measureOne(r *stats.RNG, arena *phy.Arena, pool *phy.Pool, mcs, antennas int, snrDB float64) (model.Observation, error) {
 	cfg := phy.Config{
 		Bandwidth: lte.BW10MHz,
 		MCS:       mcs,
@@ -100,16 +109,22 @@ func measureOne(r *stats.RNG, mcs, antennas int, snrDB float64) (model.Observati
 		return model.Observation{}, err
 	}
 	iq, _ := ch.Apply(wave)
-	rx, err := phy.NewReceiver(cfg)
+	rx, err := arena.Get(cfg)
 	if err != nil {
 		return model.Observation{}, err
 	}
 	start := time.Now()
-	res, err := rx.Process(iq, ch.N0())
+	var res phy.Result
+	if pool != nil {
+		res, err = pool.ProcessParallel(rx, iq, ch.N0())
+	} else {
+		res, err = rx.Process(iq, ch.N0())
+	}
 	if err != nil {
 		return model.Observation{}, err
 	}
 	elapsed := time.Since(start).Seconds() * 1e6 // µs
+	defer arena.Put(rx)
 	info, err := lte.MCSTable(mcs)
 	if err != nil {
 		return model.Observation{}, err

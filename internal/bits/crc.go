@@ -21,14 +21,54 @@ const (
 	polyCRC16 = 0x1021
 )
 
+// crcTables holds byte-at-a-time lookup tables for the three generators,
+// built on first use. table[i] is the remainder of processing the 8 bits of
+// i (MSB-first) through a zeroed register — CRC linearity over GF(2) makes
+// the byte-wise update below produce exactly the bit-serial remainder.
+var crcTables = map[uint32]*[256]uint32{
+	polyCRC24A: buildCRCTable(polyCRC24A, 24),
+	polyCRC24B: buildCRCTable(polyCRC24B, 24),
+	polyCRC16:  buildCRCTable(polyCRC16, 16),
+}
+
+func buildCRCTable(poly uint32, width uint) *[256]uint32 {
+	top := uint32(1) << (width - 1)
+	mask := top | (top - 1)
+	var tbl [256]uint32
+	for i := 0; i < 256; i++ {
+		reg := uint32(i) << (width - 8)
+		for b := 0; b < 8; b++ {
+			if reg&top != 0 {
+				reg = (reg << 1) ^ poly
+			} else {
+				reg <<= 1
+			}
+			reg &= mask
+		}
+		tbl[i] = reg
+	}
+	return &tbl
+}
+
 // crcBits runs the generic MSB-first CRC over a 0/1-valued bit slice and
-// returns the width-bit remainder.
+// returns the width-bit remainder. Bits are packed eight at a time through
+// the lookup table; the sub-byte remainder falls back to the serial update.
 func crcBits(data []byte, poly uint32, width uint) uint32 {
 	var reg uint32
 	top := uint32(1) << (width - 1)
 	mask := top | (top - 1)
-	for _, b := range data {
-		reg ^= uint32(b&1) << (width - 1)
+	tbl := crcTables[poly]
+	i := 0
+	for ; i+8 <= len(data); i += 8 {
+		packed := uint32(data[i]&1)<<7 | uint32(data[i+1]&1)<<6 |
+			uint32(data[i+2]&1)<<5 | uint32(data[i+3]&1)<<4 |
+			uint32(data[i+4]&1)<<3 | uint32(data[i+5]&1)<<2 |
+			uint32(data[i+6]&1)<<1 | uint32(data[i+7]&1)
+		idx := byte(reg>>(width-8)) ^ byte(packed)
+		reg = ((reg << 8) ^ tbl[idx]) & mask
+	}
+	for ; i < len(data); i++ {
+		reg ^= uint32(data[i]&1) << (width - 1)
 		if reg&top != 0 {
 			reg = (reg << 1) ^ poly
 		} else {

@@ -18,9 +18,10 @@ import (
 // power-of-two size. Plans are safe for concurrent use once built: Forward
 // and Inverse write only to their argument.
 type Plan struct {
-	n       int
-	rev     []int
-	twiddle []complex128 // e^{-2πi k / n} for k in [0, n/2)
+	n          int
+	rev        []int
+	twiddle    []complex128 // e^{-2πi k / n} for k in [0, n/2)
+	twiddleInv []complex128 // conjugates, so the inverse pass is branch-free
 }
 
 // NewPlan builds a plan for size n, which must be a power of two >= 1.
@@ -33,9 +34,11 @@ func NewPlan(n int) (*Plan, error) {
 	for i := 0; i < n; i++ {
 		p.rev[i] = int(bits.Reverse64(uint64(i)) >> shift)
 	}
+	p.twiddleInv = make([]complex128, n/2)
 	for k := 0; k < n/2; k++ {
 		ang := -2 * math.Pi * float64(k) / float64(n)
 		p.twiddle[k] = complex(math.Cos(ang), math.Sin(ang))
+		p.twiddleInv[k] = complex(math.Cos(ang), -math.Sin(ang))
 	}
 	return p, nil
 }
@@ -77,17 +80,19 @@ func (p *Plan) transform(x []complex128, inverse bool) {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
-	// Iterative Cooley-Tukey butterflies.
+	// Iterative Cooley-Tukey butterflies, twiddle table chosen once per
+	// direction (twiddleInv holds the conjugates the inverse pass needs).
+	tw := p.twiddle
+	if inverse {
+		tw = p.twiddleInv
+	}
 	for size := 2; size <= n; size <<= 1 {
 		half := size >> 1
 		step := n / size
 		for start := 0; start < n; start += size {
 			ti := 0
 			for k := start; k < start+half; k++ {
-				w := p.twiddle[ti]
-				if inverse {
-					w = complex(real(w), -imag(w))
-				}
+				w := tw[ti]
 				u := x[k]
 				v := x[k+half] * w
 				x[k] = u + v
@@ -135,20 +140,29 @@ func newBluestein(n int) *bluestein {
 }
 
 func (b *bluestein) forward(x []complex128) []complex128 {
-	a := make([]complex128, b.m)
+	out := make([]complex128, b.n)
+	b.forwardInto(out, x, make([]complex128, b.m))
+	return out
+}
+
+// forwardInto is forward with caller-provided output and scratch (len m).
+// dst may alias src: src is fully consumed before dst is written.
+func (b *bluestein) forwardInto(dst, src, work []complex128) {
+	a := work[:b.m]
 	for k := 0; k < b.n; k++ {
-		a[k] = x[k] * b.chirp[k]
+		a[k] = src[k] * b.chirp[k]
+	}
+	for k := b.n; k < b.m; k++ {
+		a[k] = 0
 	}
 	b.plan.Forward(a)
 	for i := range a {
 		a[i] *= b.bHat[i]
 	}
 	b.plan.Inverse(a)
-	out := make([]complex128, b.n)
 	for k := 0; k < b.n; k++ {
-		out[k] = a[k] * b.chirp[k]
+		dst[k] = a[k] * b.chirp[k]
 	}
-	return out
 }
 
 // DFT computes the forward DFT of x at any length, choosing radix-2 when the
@@ -172,17 +186,63 @@ func IDFT(x []complex128) []complex128 {
 	if n == 0 {
 		return nil
 	}
-	// IDFT(x) = conj(DFT(conj(x)))/N.
-	tmp := make([]complex128, n)
-	for i, v := range x {
-		tmp[i] = complex(real(v), -imag(v))
-	}
-	out := DFT(tmp)
-	inv := 1 / float64(n)
-	for i, v := range out {
-		out[i] = complex(real(v)*inv, -imag(v)*inv)
-	}
+	out := make([]complex128, n)
+	IDFTInto(out, x, make([]complex128, WorkLen(n)))
 	return out
+}
+
+// WorkLen returns the scratch length DFTInto/IDFTInto require for size n:
+// zero when n is a power of two (the transform runs in place), otherwise
+// the Bluestein convolution size.
+func WorkLen(n int) int {
+	if n <= 0 || n&(n-1) == 0 {
+		return 0
+	}
+	return bluesteinCache(n).m
+}
+
+// DFTInto computes the forward DFT of src into dst without allocating:
+// dst and src must share length n, work must have WorkLen(n) entries, and
+// dst may alias src. Results are bit-identical to DFT.
+func DFTInto(dst, src, work []complex128) {
+	n := len(src)
+	if len(dst) != n {
+		panic(fmt.Sprintf("fft: DFTInto dst length %d, src %d", len(dst), n))
+	}
+	if n == 0 {
+		return
+	}
+	if n&(n-1) == 0 {
+		copy(dst, src)
+		planCache(n).Forward(dst)
+		return
+	}
+	b := bluesteinCache(n)
+	if len(work) < b.m {
+		panic(fmt.Sprintf("fft: DFTInto work length %d, want %d", len(work), b.m))
+	}
+	b.forwardInto(dst, src, work)
+}
+
+// IDFTInto computes the inverse DFT (scaled by 1/N) of src into dst without
+// allocating, under the same contract as DFTInto. Bit-identical to IDFT.
+func IDFTInto(dst, src, work []complex128) {
+	n := len(src)
+	if len(dst) != n {
+		panic(fmt.Sprintf("fft: IDFTInto dst length %d, src %d", len(dst), n))
+	}
+	if n == 0 {
+		return
+	}
+	// IDFT(x) = conj(DFT(conj(x)))/N.
+	for i, v := range src {
+		dst[i] = complex(real(v), -imag(v))
+	}
+	DFTInto(dst, dst, work)
+	inv := 1 / float64(n)
+	for i, v := range dst {
+		dst[i] = complex(real(v)*inv, -imag(v)*inv)
+	}
 }
 
 // The caches below are read-mostly maps guarded by copy-on-write semantics;

@@ -294,3 +294,71 @@ func TestDFTShiftTheoremProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestIntoVariantsBitIdentical(t *testing.T) {
+	// DFTInto/IDFTInto must reproduce DFT/IDFT bit for bit, for both the
+	// radix-2 and Bluestein paths, including when dst aliases src.
+	r := stats.NewRNG(31)
+	for _, n := range []int{8, 64, 600, 300, 1024} {
+		x := randSignal(r, n)
+		work := make([]complex128, WorkLen(n))
+
+		wantF := DFT(x)
+		dst := make([]complex128, n)
+		DFTInto(dst, x, work)
+		for i := range dst {
+			if dst[i] != wantF[i] {
+				t.Fatalf("n=%d: DFTInto[%d] = %v, DFT %v", n, i, dst[i], wantF[i])
+			}
+		}
+
+		wantI := IDFT(x)
+		IDFTInto(dst, x, work)
+		for i := range dst {
+			if dst[i] != wantI[i] {
+				t.Fatalf("n=%d: IDFTInto[%d] = %v, IDFT %v", n, i, dst[i], wantI[i])
+			}
+		}
+
+		// Aliased: transform in place.
+		inPlace := append([]complex128(nil), x...)
+		IDFTInto(inPlace, inPlace, work)
+		for i := range inPlace {
+			if inPlace[i] != wantI[i] {
+				t.Fatalf("n=%d: aliased IDFTInto[%d] = %v, IDFT %v", n, i, inPlace[i], wantI[i])
+			}
+		}
+	}
+}
+
+func TestIntoVariantsAllocFree(t *testing.T) {
+	r := stats.NewRNG(32)
+	for _, n := range []int{512, 600} {
+		x := randSignal(r, n)
+		dst := make([]complex128, n)
+		work := make([]complex128, WorkLen(n))
+		IDFTInto(dst, x, work) // warm the kernel caches
+		allocs := testing.AllocsPerRun(5, func() {
+			DFTInto(dst, x, work)
+			IDFTInto(dst, x, work)
+		})
+		if allocs != 0 {
+			t.Fatalf("n=%d: Into transforms allocate %.1f objects per call, want 0", n, allocs)
+		}
+	}
+}
+
+func TestIntoVariantsPanicOnBadLengths(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	x := make([]complex128, 600)
+	expectPanic("short dst", func() { DFTInto(make([]complex128, 10), x, make([]complex128, WorkLen(600))) })
+	expectPanic("short work", func() { DFTInto(make([]complex128, 600), x, nil) })
+	expectPanic("short dst idft", func() { IDFTInto(make([]complex128, 10), x, make([]complex128, WorkLen(600))) })
+}

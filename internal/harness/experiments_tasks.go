@@ -3,7 +3,6 @@ package harness
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
 
 	"rtopex/internal/bits"
@@ -21,8 +20,9 @@ func init() {
 
 // measuredPipeline builds one decodable MCS-27 subframe and returns the
 // receiver plus its staged pipeline, for wall-clock task measurements on
-// this repository's own PHY (the paper's Fig. 4 measures OAI's).
-func measuredPipeline(seed uint64) (*phy.Receiver, [][]complex128, float64, error) {
+// this repository's own PHY (the paper's Fig. 4 measures OAI's). Receivers
+// come from the arena so repeated trials reuse warmed scratch.
+func measuredPipeline(arena *phy.Arena, seed uint64) (*phy.Receiver, [][]complex128, float64, error) {
 	cfg := phy.Config{
 		Bandwidth: lte.BW10MHz,
 		MCS:       27,
@@ -46,39 +46,24 @@ func measuredPipeline(seed uint64) (*phy.Receiver, [][]complex128, float64, erro
 		return nil, nil, 0, err
 	}
 	iq, _ := ch.Apply(wave)
-	rx, err := phy.NewReceiver(cfg)
+	rx, err := arena.Get(cfg)
 	if err != nil {
 		return nil, nil, 0, err
 	}
 	return rx, iq, ch.N0(), nil
 }
 
-// runStage executes a stage's subtasks over nWorkers goroutines and returns
-// the wall-clock duration.
-func runStage(st phy.Stage, nWorkers int) time.Duration {
+// runStage executes a stage's subtasks on the pool (nil runs them serially)
+// and returns the wall-clock duration.
+func runStage(st phy.Stage, pool *phy.Pool) time.Duration {
 	start := time.Now()
-	if nWorkers <= 1 {
+	if pool == nil {
 		for _, sub := range st.Subtasks {
 			sub()
 		}
 		return time.Since(start)
 	}
-	var wg sync.WaitGroup
-	ch := make(chan func(), len(st.Subtasks))
-	for _, sub := range st.Subtasks {
-		ch <- sub
-	}
-	close(ch)
-	for w := 0; w < nWorkers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for sub := range ch {
-				sub()
-			}
-		}()
-	}
-	wg.Wait()
+	pool.Run(st.Subtasks)
 	return time.Since(start)
 }
 
@@ -90,13 +75,18 @@ func fig4(o Options) (*Table, error) {
 	if o.Quick {
 		trials = 5
 	}
+	arena := phy.NewArena()
 	t := &Table{ID: "fig4", Title: "Measured Go-PHY task times (ms), MCS 27, N = 2",
 		Columns: []string{"task", "cores", "p50_ms", "min_ms"}}
 	for _, task := range []phy.TaskName{phy.TaskFFT, phy.TaskDecode} {
 		for _, workers := range []int{1, 2} {
+			var pool *phy.Pool
+			if workers > 1 {
+				pool = phy.NewPool(workers)
+			}
 			var samples []float64
 			for i := 0; i < trials; i++ {
-				rx, iq, n0, err := measuredPipeline(o.seed() + uint64(i))
+				rx, iq, n0, err := measuredPipeline(arena, o.seed()+uint64(i))
 				if err != nil {
 					return nil, err
 				}
@@ -106,11 +96,15 @@ func fig4(o Options) (*Table, error) {
 				}
 				for _, st := range stages {
 					if st.Name == task {
-						samples = append(samples, runStage(st, workers).Seconds()*1000)
+						samples = append(samples, runStage(st, pool).Seconds()*1000)
 						break
 					}
-					runStage(st, 1) // earlier stages feed this one
+					runStage(st, nil) // earlier stages feed this one
 				}
+				arena.Put(rx)
+			}
+			if pool != nil {
+				pool.Close()
 			}
 			t.AddRow(string(task), workers,
 				stats.Quantile(samples, 0.5), stats.Summarize(samples).Min)

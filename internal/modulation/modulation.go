@@ -123,49 +123,56 @@ func qpskSign(b byte) float64 {
 // For the Gray mappings above the max-log LLRs have closed forms in the
 // I and Q components, which keeps the demapper O(1) per bit.
 func Demap(scheme Scheme, symbols []complex128, n0 float64) []float64 {
+	out := make([]float64, len(symbols)*scheme.Order())
+	DemapInto(out, scheme, symbols, n0)
+	return out
+}
+
+// DemapInto is Demap into a caller-provided buffer of exactly
+// len(symbols)·Order() entries — the allocation-free hot path of the
+// receive chain. Results are bit-identical to Demap.
+func DemapInto(dst []float64, scheme Scheme, symbols []complex128, n0 float64) {
 	if n0 <= 0 {
 		n0 = 1e-12
 	}
 	k := scheme.Order()
-	out := make([]float64, 0, len(symbols)*k)
+	if len(dst) != len(symbols)*k {
+		panic(fmt.Sprintf("modulation: DemapInto dst length %d, want %d", len(dst), len(symbols)*k))
+	}
 	// 4/n0 · component is the exact QPSK LLR; the same scaling applies to the
 	// piecewise-linear higher-order expressions below.
 	g := 4 / n0
 	switch scheme {
 	case QPSK:
-		for _, s := range symbols {
-			out = append(out, g*real(s)*qpskScale, g*imag(s)*qpskScale)
+		for i, s := range symbols {
+			dst[2*i] = g * real(s) * qpskScale
+			dst[2*i+1] = g * imag(s) * qpskScale
 		}
 	case QAM16:
 		a := qam16Scale
-		for _, s := range symbols {
+		for i, s := range symbols {
 			re, im := real(s), imag(s)
 			// Transmission order b0..b3 = sign(I), sign(Q), amp(I), amp(Q).
 			// Amplitude bit is 0 ⇔ |x| < 2a (inner column).
-			out = append(out,
-				g*a*softSign16(re, a),
-				g*a*softSign16(im, a),
-				g*a*(2*a-math.Abs(re)),
-				g*a*(2*a-math.Abs(im)),
-			)
+			dst[4*i] = g * a * softSign16(re, a)
+			dst[4*i+1] = g * a * softSign16(im, a)
+			dst[4*i+2] = g * a * (2*a - math.Abs(re))
+			dst[4*i+3] = g * a * (2*a - math.Abs(im))
 		}
 	case QAM64:
 		a := qam64Scale
-		for _, s := range symbols {
+		for i, s := range symbols {
 			re, im := real(s), imag(s)
-			out = append(out,
-				g*a*softSign64(re, a),
-				g*a*softSign64(im, a),
-				g*a*(4*a-math.Abs(re)),
-				g*a*(4*a-math.Abs(im)),
-				g*a*(2*a-math.Abs(math.Abs(re)-4*a)),
-				g*a*(2*a-math.Abs(math.Abs(im)-4*a)),
-			)
+			dst[6*i] = g * a * softSign64(re, a)
+			dst[6*i+1] = g * a * softSign64(im, a)
+			dst[6*i+2] = g * a * (4*a - math.Abs(re))
+			dst[6*i+3] = g * a * (4*a - math.Abs(im))
+			dst[6*i+4] = g * a * (2*a - math.Abs(math.Abs(re)-4*a))
+			dst[6*i+5] = g * a * (2*a - math.Abs(math.Abs(im)-4*a))
 		}
 	default:
 		panic(fmt.Sprintf("modulation: unsupported scheme %d", scheme))
 	}
-	return out
 }
 
 // softSign16 is the max-log LLR kernel for the 16-QAM sign bit: linear near

@@ -257,3 +257,38 @@ func BenchmarkDemap64QAM(b *testing.B) {
 		_ = Demap(QAM64, syms, 0.01)
 	}
 }
+
+func TestDemapIntoBitIdentical(t *testing.T) {
+	r := stats.NewRNG(77)
+	for _, scheme := range allSchemes() {
+		syms := make([]complex128, 100)
+		for i := range syms {
+			syms[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		for _, n0 := range []float64{0.5, 1e-3, 0} {
+			want := Demap(scheme, syms, n0)
+			dst := make([]float64, len(syms)*scheme.Order())
+			DemapInto(dst, scheme, syms, n0)
+			for i := range dst {
+				if dst[i] != want[i] {
+					t.Fatalf("%v n0=%v: DemapInto[%d] = %v, Demap %v", scheme, n0, i, dst[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDemapIntoAllocFreeAndChecksLength(t *testing.T) {
+	syms := make([]complex128, 50)
+	dst := make([]float64, 50*QAM64.Order())
+	allocs := testing.AllocsPerRun(5, func() { DemapInto(dst, QAM64, syms, 0.1) })
+	if allocs != 0 {
+		t.Fatalf("DemapInto allocates %.1f objects per call, want 0", allocs)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short dst did not panic")
+		}
+	}()
+	DemapInto(dst[:10], QAM64, syms, 0.1)
+}

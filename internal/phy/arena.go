@@ -1,0 +1,101 @@
+package phy
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"rtopex/internal/obs"
+)
+
+// Arena lends out Receivers keyed by their Config, backed by sync.Pool so
+// that steady-state operation recycles fully warmed receivers (FFT plans,
+// interleaver/rate-matcher tables, decoder trellis scratch) instead of
+// rebuilding them — construction at MCS 27 touches several megabytes of
+// tables, far too much for a per-subframe path. Distinct configs get
+// distinct pools; a Get after a same-config Put is a hit.
+//
+// An Arena is safe for concurrent use. Receivers themselves are not: a
+// receiver is owned exclusively by its borrower between Get and Put.
+type Arena struct {
+	mu    sync.Mutex
+	pools map[Config]*sync.Pool
+
+	hits   atomic.Int64
+	misses atomic.Int64
+
+	// optional published counters (set by PublishTo)
+	hitCtr  atomic.Pointer[obs.Counter]
+	missCtr atomic.Pointer[obs.Counter]
+}
+
+// NewArena builds an empty receiver arena.
+func NewArena() *Arena {
+	return &Arena{pools: make(map[Config]*sync.Pool)}
+}
+
+// Get borrows a receiver for cfg, constructing one only when the pool is
+// empty (a miss) or when cfg is invalid (the error mirrors NewReceiver's).
+func (a *Arena) Get(cfg Config) (*Receiver, error) {
+	a.mu.Lock()
+	p := a.pools[cfg]
+	if p == nil {
+		p = &sync.Pool{}
+		a.pools[cfg] = p
+	}
+	a.mu.Unlock()
+	if v := p.Get(); v != nil {
+		a.hits.Add(1)
+		if c := a.hitCtr.Load(); c != nil {
+			c.Inc()
+		}
+		return v.(*Receiver), nil
+	}
+	rx, err := NewReceiver(cfg)
+	if err != nil {
+		return nil, err
+	}
+	a.misses.Add(1)
+	if c := a.missCtr.Load(); c != nil {
+		c.Inc()
+	}
+	return rx, nil
+}
+
+// Put returns a borrowed receiver to the arena. The caller must not use rx
+// (or any Result it produced) afterwards.
+func (a *Arena) Put(rx *Receiver) {
+	if rx == nil {
+		return
+	}
+	a.mu.Lock()
+	p := a.pools[rx.cfg]
+	if p == nil {
+		p = &sync.Pool{}
+		a.pools[rx.cfg] = p
+	}
+	a.mu.Unlock()
+	p.Put(rx)
+}
+
+// Stats reports how many Gets were served from the pool (hits) versus by
+// constructing a new receiver (misses).
+func (a *Arena) Stats() (hits, misses int64) {
+	return a.hits.Load(), a.misses.Load()
+}
+
+// PublishTo mirrors the arena's hit/miss counters into reg as
+// rtopex_phy_arena_{hits,misses}_total. Call before handing the arena to
+// workers; already-accumulated counts are carried over.
+func (a *Arena) PublishTo(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.SetHelp("rtopex_phy_arena_hits_total", "Receiver arena gets served from the pool.")
+	reg.SetHelp("rtopex_phy_arena_misses_total", "Receiver arena gets that built a new receiver.")
+	hit := reg.Counter("rtopex_phy_arena_hits_total")
+	miss := reg.Counter("rtopex_phy_arena_misses_total")
+	hit.Add(a.hits.Load())
+	miss.Add(a.misses.Load())
+	a.hitCtr.Store(hit)
+	a.missCtr.Store(miss)
+}

@@ -34,6 +34,10 @@ type Stage struct {
 }
 
 // Result reports the outcome of decoding one subframe.
+//
+// Its slices (and Payload) alias receiver scratch that is reused by the next
+// Pipeline/Process call on the same Receiver; callers that retain a Result
+// across subframes must copy what they need.
 type Result struct {
 	Payload         []byte // TBS decoded bits (only meaningful when OK)
 	OK              bool   // transport-block CRC24A passed
@@ -45,6 +49,10 @@ type Result struct {
 // Receiver decodes PUSCH subframes. A Receiver processes one subframe at a
 // time (its scratch state is reused between subframes); within a subframe,
 // the subtasks of one stage may run concurrently on multiple goroutines.
+//
+// The steady-state hot path (Pipeline, the subtasks, Result, Process) is
+// allocation-free: the stage decomposition is built once at construction and
+// every subtask owns preallocated scratch indexed by its subtask identity.
 type Receiver struct {
 	cfg    Config
 	layout *codingLayout
@@ -55,11 +63,29 @@ type Receiver struct {
 	decoders []*turbo.Decoder
 	descramb []byte // scrambling sequence, applied to LLRs
 
+	// Cached stage decomposition. The subtask closures read the per-call
+	// inputs from curIQ/curN0, which Pipeline sets before returning stages.
+	stages      []Stage
+	symbolStart []int // sample offset of each symbol past its CP
+	curIQ       [][]complex128
+	curN0       float64
+
+	// Per-subtask scratch. Buffers are indexed by subtask identity
+	// (antenna×symbol, antenna, data symbol, code block), so concurrent
+	// subtasks of one stage never share a buffer.
+	fftBufs  [][]complex128      // [antenna·symbols+l] FFT working buffer
+	chRaw    [][]complex128      // [antenna] raw pre-smoothing estimate
+	eqBufs   [][]complex128      // [data symbol] MRC/de-precode buffer
+	idftWork [][]complex128      // [data symbol] Bluestein scratch
+	soft     [][3][]float64      // [block] dematched d0/d1/d2 streams
+	checks   []func([]byte) bool // [block] CRC early-termination hook
+
 	// per-subframe scratch
 	grid   [][][]complex128 // [antenna][symbol][subcarrier]
 	chEst  [][]complex128   // [antenna][subcarrier]
 	llrs   []float64        // codeword LLRs
 	blocks [][]byte         // decoded code blocks
+	tb     []byte           // joined transport block
 	res    Result
 }
 
@@ -113,50 +139,73 @@ func NewReceiver(cfg Config) (*Receiver, error) {
 		rx.chEst[a] = make([]complex128, m)
 	}
 	rx.llrs = make([]float64, layout.g)
-	rx.blocks = make([][]byte, layout.seg.C)
+	rx.allocScratch()
+	rx.buildStages()
 	return rx, nil
 }
 
-// TBS returns the transport block size in bits.
-func (rx *Receiver) TBS() int { return rx.layout.tbs }
-
-// CodeBlocks returns the number of turbo code blocks C — the decode task's
-// subtask count.
-func (rx *Receiver) CodeBlocks() int { return rx.layout.seg.C }
-
-// Pipeline builds the staged subtask decomposition for one received
-// subframe. iq holds one sample slice per antenna; n0 is the complex noise
-// power per subcarrier. Stages must run in order; subtasks within a stage
-// are independent. Call Result only after every subtask of every stage ran.
-func (rx *Receiver) Pipeline(iq [][]complex128, n0 float64) ([]Stage, error) {
+// allocScratch sizes the per-subtask buffers and the reusable result state.
+func (rx *Receiver) allocScratch() {
 	bw := rx.cfg.Bandwidth
-	if len(iq) != rx.cfg.Antennas {
-		return nil, fmt.Errorf("phy: %d antenna streams, want %d", len(iq), rx.cfg.Antennas)
+	m := bw.Subcarriers()
+	seg := rx.layout.seg
+
+	rx.fftBufs = make([][]complex128, rx.cfg.Antennas*lte.SymbolsPerSubframe)
+	for i := range rx.fftBufs {
+		rx.fftBufs[i] = make([]complex128, bw.FFTSize)
 	}
-	for a, s := range iq {
-		if len(s) != bw.SamplesPerSubframe() {
-			return nil, fmt.Errorf("phy: antenna %d has %d samples, want %d", a, len(s), bw.SamplesPerSubframe())
+	rx.chRaw = make([][]complex128, rx.cfg.Antennas)
+	for a := range rx.chRaw {
+		rx.chRaw[a] = make([]complex128, m)
+	}
+	rx.eqBufs = make([][]complex128, len(dataSymbolIndices))
+	rx.idftWork = make([][]complex128, len(dataSymbolIndices))
+	for ds := range rx.eqBufs {
+		rx.eqBufs[ds] = make([]complex128, m)
+		rx.idftWork[ds] = make([]complex128, fft.WorkLen(m))
+	}
+
+	rx.soft = make([][3][]float64, seg.C)
+	rx.checks = make([]func([]byte) bool, seg.C)
+	rx.blocks = make([][]byte, seg.C)
+	for r, k := range seg.Sizes {
+		d := k + 4
+		rx.soft[r] = [3][]float64{
+			make([]float64, d), make([]float64, d), make([]float64, d),
+		}
+		rx.blocks[r] = make([]byte, k)
+		rx.checks[r] = func(b []byte) bool {
+			if seg.C > 1 {
+				return bits.CheckCRC24B(b)
+			}
+			// Single block: the transport-block CRC24A serves as the check,
+			// computed past any filler bits.
+			return bits.CheckCRC24A(b[seg.F:])
 		}
 	}
+	rx.tb = make([]byte, seg.B)
 	rx.res = Result{
-		BlockOK:         make([]bool, rx.layout.seg.C),
-		BlockIterations: make([]int, rx.layout.seg.C),
+		BlockOK:         make([]bool, seg.C),
+		BlockIterations: make([]int, seg.C),
 	}
 
-	// Stage 1: FFT — one subtask per (antenna, symbol).
-	fftStage := Stage{Name: TaskFFT}
-	symbolStart := make([]int, lte.SymbolsPerSubframe)
+	rx.symbolStart = make([]int, lte.SymbolsPerSubframe)
 	pos := 0
 	for l := 0; l < lte.SymbolsPerSubframe; l++ {
-		symbolStart[l] = pos + bw.CPLen(l) // skip CP
+		rx.symbolStart[l] = pos + bw.CPLen(l) // skip CP
 		pos += bw.CPLen(l) + bw.FFTSize
 	}
+}
+
+// buildStages constructs the staged subtask decomposition once. The closures
+// read the current subframe's inputs from rx.curIQ / rx.curN0.
+func (rx *Receiver) buildStages() {
+	// Stage 1: FFT — one subtask per (antenna, symbol).
+	fftStage := Stage{Name: TaskFFT}
 	for a := 0; a < rx.cfg.Antennas; a++ {
 		for l := 0; l < lte.SymbolsPerSubframe; l++ {
 			a, l := a, l
-			fftStage.Subtasks = append(fftStage.Subtasks, func() {
-				rx.fftSymbol(iq[a], a, l, symbolStart[l])
-			})
+			fftStage.Subtasks = append(fftStage.Subtasks, func() { rx.fftSymbol(a, l) })
 		}
 	}
 
@@ -174,8 +223,8 @@ func (rx *Receiver) Pipeline(iq [][]complex128, n0 float64) ([]Stage, error) {
 	// lazily so it observes the completed FFT stage.
 	demodStage := Stage{Name: TaskDemod}
 	noise := func() float64 {
-		if n0 > 0 {
-			return n0
+		if rx.curN0 > 0 {
+			return rx.curN0
 		}
 		return rx.EstimateNoise()
 	}
@@ -191,16 +240,53 @@ func (rx *Receiver) Pipeline(iq [][]complex128, n0 float64) ([]Stage, error) {
 		decodeStage.Subtasks = append(decodeStage.Subtasks, func() { rx.decodeBlock(r) })
 	}
 
-	return []Stage{fftStage, chestStage, demodStage, decodeStage}, nil
+	rx.stages = []Stage{fftStage, chestStage, demodStage, decodeStage}
+}
+
+// TBS returns the transport block size in bits.
+func (rx *Receiver) TBS() int { return rx.layout.tbs }
+
+// CodeBlocks returns the number of turbo code blocks C — the decode task's
+// subtask count.
+func (rx *Receiver) CodeBlocks() int { return rx.layout.seg.C }
+
+// Pipeline stages the subtask decomposition for one received subframe. iq
+// holds one sample slice per antenna; n0 is the complex noise power per
+// subcarrier. Stages must run in order; subtasks within a stage are
+// independent. Call Result only after every subtask of every stage ran.
+//
+// The returned stages are cached on the Receiver (Pipeline does not
+// allocate); the receiver retains iq until the next Pipeline call.
+func (rx *Receiver) Pipeline(iq [][]complex128, n0 float64) ([]Stage, error) {
+	bw := rx.cfg.Bandwidth
+	if len(iq) != rx.cfg.Antennas {
+		return nil, fmt.Errorf("phy: %d antenna streams, want %d", len(iq), rx.cfg.Antennas)
+	}
+	for a, s := range iq {
+		if len(s) != bw.SamplesPerSubframe() {
+			return nil, fmt.Errorf("phy: antenna %d has %d samples, want %d", a, len(s), bw.SamplesPerSubframe())
+		}
+	}
+	rx.curIQ = iq
+	rx.curN0 = n0
+	rx.res.OK = false
+	rx.res.Payload = nil
+	rx.res.Iterations = 0
+	for r := range rx.res.BlockOK {
+		rx.res.BlockOK[r] = false
+		rx.res.BlockIterations[r] = 0
+	}
+	return rx.stages, nil
 }
 
 // fftSymbol demodulates OFDM symbol l of antenna a into the subcarrier grid.
-func (rx *Receiver) fftSymbol(samples []complex128, a, l, start int) {
+func (rx *Receiver) fftSymbol(a, l int) {
 	bw := rx.cfg.Bandwidth
 	n := bw.FFTSize
 	m := bw.Subcarriers()
-	buf := make([]complex128, n)
-	copy(buf, samples[start:start+n])
+	start := rx.symbolStart[l]
+	buf := rx.fftBufs[a*lte.SymbolsPerSubframe+l]
+	copy(buf, rx.curIQ[a][start:start+n])
 	rx.plan.Forward(buf)
 	scale := complex(1/math.Sqrt(float64(n)), 0)
 	dst := rx.grid[a][l]
@@ -224,7 +310,7 @@ func (rx *Receiver) estimateChannel(a int) {
 	m := rx.cfg.Bandwidth.Subcarriers()
 	y1 := rx.grid[a][dmrsSymbol1]
 	y2 := rx.grid[a][dmrsSymbol2]
-	raw := make([]complex128, m)
+	raw := rx.chRaw[a]
 	for k := 0; k < m; k++ {
 		raw[k] = (y1[k] + y2[k]) / (2 * rx.pilot[k])
 	}
@@ -250,7 +336,7 @@ func (rx *Receiver) demodSymbol(ds int, n0 float64) {
 	bw := rx.cfg.Bandwidth
 	m := bw.Subcarriers()
 	l := dataSymbolIndices[ds]
-	eq := make([]complex128, m)
+	eq := rx.eqBufs[ds]
 	var invDenSum float64
 	for k := 0; k < m; k++ {
 		var num complex128
@@ -270,50 +356,45 @@ func (rx *Receiver) demodSymbol(ds int, n0 float64) {
 	// SC-FDMA de-precoding: IDFT scaled by √M inverts the transmitter's
 	// DFT/√M. The per-sample noise power afterwards is the mean of the
 	// per-subcarrier post-MRC powers.
-	td := fft.IDFT(eq)
-	sqrtM := math.Sqrt(float64(m))
-	for i := range td {
-		td[i] *= complex(sqrtM, 0)
+	fft.IDFTInto(eq, eq, rx.idftWork[ds])
+	sqrtM := complex(math.Sqrt(float64(m)), 0)
+	for i := range eq {
+		eq[i] *= sqrtM
 	}
 	n0Eff := n0 * invDenSum / float64(m)
 	qm := rx.layout.scheme.Order()
-	llrs := modulation.Demap(rx.layout.scheme, td, n0Eff)
 	base := ds * m * qm
-	for i, l := range llrs {
+	dst := rx.llrs[base : base+m*qm]
+	modulation.DemapInto(dst, rx.layout.scheme, eq, n0Eff)
+	for i := range dst {
 		if rx.descramb[base+i] == 1 {
-			l = -l
+			dst[i] = -dst[i]
 		}
-		rx.llrs[base+i] = l
 	}
 }
 
 // decodeBlock rate-dematches and turbo-decodes code block r.
 func (rx *Receiver) decodeBlock(r int) {
-	seg := rx.layout.seg
 	e := rx.layout.es[r]
 	off := rx.layout.offs[r]
-	s0, s1, s2, err := rx.rms[r].Dematch(rx.llrs[off:off+e], 0)
-	if err != nil {
+	s0, s1, s2 := rx.soft[r][0], rx.soft[r][1], rx.soft[r][2]
+	for i := range s0 {
+		s0[i], s1[i], s2[i] = 0, 0, 0
+	}
+	if err := rx.rms[r].DematchInto(s0, s1, s2, rx.llrs[off:off+e], 0); err != nil {
 		// Unreachable by construction (E > 0 always); treat as block failure.
 		rx.res.BlockOK[r] = false
 		rx.res.BlockIterations[r] = rx.cfg.maxIter()
 		return
 	}
-	check := func(b []byte) bool {
-		if seg.C > 1 {
-			return bits.CheckCRC24B(b)
-		}
-		// Single block: the transport-block CRC24A serves as the check,
-		// computed past any filler bits.
-		return bits.CheckCRC24A(b[seg.F:])
-	}
-	res := rx.decoders[r].Decode(s0, s1, s2, check)
-	rx.blocks[r] = append([]byte(nil), res.Bits...)
+	res := rx.decoders[r].Decode(s0, s1, s2, rx.checks[r])
+	copy(rx.blocks[r], res.Bits)
 	rx.res.BlockOK[r] = res.OK
 	rx.res.BlockIterations[r] = res.Iterations
 }
 
-// Result assembles the transport block after all stages completed.
+// Result assembles the transport block after all stages completed. The
+// returned Result aliases receiver scratch — see the Result type docs.
 func (rx *Receiver) Result() Result {
 	res := rx.res
 	for _, it := range res.BlockIterations {
@@ -321,7 +402,7 @@ func (rx *Receiver) Result() Result {
 			res.Iterations = it
 		}
 	}
-	tb, err := rx.layout.seg.Join(rx.blocks)
+	tb, err := rx.layout.seg.JoinInto(rx.tb, rx.blocks)
 	if err == nil && bits.CheckCRC24A(tb) {
 		res.OK = true
 		res.Payload = tb[:len(tb)-24]

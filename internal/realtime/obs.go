@@ -1,6 +1,9 @@
 package realtime
 
-import "rtopex/internal/obs"
+import (
+	"rtopex/internal/obs"
+	"rtopex/internal/phy"
+)
 
 // liveObs caches the registry handles the live run's hot paths update, so
 // workers touch only atomics (and one histogram mutex), never the registry
@@ -13,6 +16,7 @@ type liveObs struct {
 	dropped    *obs.Counter
 	procUS     *obs.Histogram
 	lateUS     *obs.Histogram
+	stageUS    map[phy.TaskName]*obs.Histogram
 }
 
 func newLiveObs(reg *obs.Registry) *liveObs {
@@ -26,6 +30,11 @@ func newLiveObs(reg *obs.Registry) *liveObs {
 	reg.SetHelp("rtopex_live_dropped_total", "Subframes dropped because the core was still busy.")
 	reg.SetHelp("rtopex_live_proc_us", "Per-subframe wall-clock processing time.")
 	reg.SetHelp("rtopex_live_late_us", "Tardiness of subframes that missed the deadline.")
+	reg.SetHelp("rtopex_live_stage_us", "Per-pipeline-stage wall-clock time, labelled by stage.")
+	stageUS := make(map[phy.TaskName]*obs.Histogram, 4)
+	for _, name := range []phy.TaskName{phy.TaskFFT, phy.TaskChEst, phy.TaskDemod, phy.TaskDecode} {
+		stageUS[name] = reg.Histogram("rtopex_live_stage_us", obs.L("stage", string(name)))
+	}
 	return &liveObs{
 		subframes:  reg.Counter("rtopex_live_subframes_total"),
 		decoded:    reg.Counter("rtopex_live_decoded_total"),
@@ -34,6 +43,17 @@ func newLiveObs(reg *obs.Registry) *liveObs {
 		dropped:    reg.Counter("rtopex_live_dropped_total"),
 		procUS:     reg.Histogram("rtopex_live_proc_us"),
 		lateUS:     reg.Histogram("rtopex_live_late_us"),
+		stageUS:    stageUS,
+	}
+}
+
+// stage books the wall-clock time of one pipeline stage of one subframe.
+func (l *liveObs) stage(name phy.TaskName, us float64) {
+	if l == nil {
+		return
+	}
+	if h := l.stageUS[name]; h != nil {
+		h.Observe(us)
 	}
 }
 

@@ -49,13 +49,18 @@ type Config struct {
 	// per basestation (default 4). Pre-encoding keeps the feeder loop off
 	// the transmit path.
 	Pool int
-	Seed uint64
+	// PHYWorkers is the intra-subframe fan-out: each worker core executes
+	// every pipeline stage's subtasks (per antenna-symbol FFTs, per
+	// code-block decodes, …) on a phy.Pool of this many workers — the
+	// paper's parallel subtask execution, layered on top of the partitioned
+	// core map. ≤1 runs the stages serially with no pool.
+	PHYWorkers int
+	Seed       uint64
 	// Tracer, when non-nil, receives the run's event stream (arrivals,
 	// starts, per-stage phases, drops, finishes) with times in microseconds
 	// since the feeder epoch. The sink is wrapped with trace.Locked because
 	// worker threads emit concurrently; a nil Tracer costs nothing — every
-	// emit site guards on a single nil check and the per-stage pipeline path
-	// is only taken when tracing.
+	// emit site guards on a single nil check.
 	Tracer trace.Tracer
 	// Obs, when non-nil, receives live progress while the run executes:
 	// subframe/decode/miss/drop counters and the per-subframe processing-time
@@ -198,6 +203,10 @@ func Run(cfg Config) (*Stats, error) {
 
 	st := &Stats{}
 	lo := newLiveObs(cfg.Obs)
+	// Receivers come from a shared arena so cores decoding the same config
+	// recycle warmed scratch instead of each holding a private copy per MCS.
+	arena := phy.NewArena()
+	arena.PublishTo(cfg.Obs)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for core := 0; core < nCores; core++ {
@@ -206,40 +215,44 @@ func Run(cfg Config) (*Stats, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// One receiver per (bs, core): decoding state is not shared.
-			rxByPool := make([]*phy.Receiver, len(pools[bs]))
+			// Intra-subframe fan-out: one phy.Pool per worker core, so a
+			// core's stage subtasks spread over PHYWorkers goroutines.
+			var pool *phy.Pool
+			if cfg.PHYWorkers > 1 {
+				pool = phy.NewPool(cfg.PHYWorkers)
+				defer pool.Close()
+			}
 			for j := range queues[core] {
 				pb := pools[bs][mcsAt[bs][j.idx]]
-				rx := rxByPool[mcsAt[bs][j.idx]]
-				if rx == nil {
-					var err error
-					rx, err = phy.NewReceiver(phyConfig(pb.mcs, cfg.Antennas))
-					if err != nil {
-						continue
-					}
-					rxByPool[mcsAt[bs][j.idx]] = rx
+				rx, err := arena.Get(phyConfig(pb.mcs, cfg.Antennas))
+				if err != nil {
+					continue
 				}
 				start := time.Now()
-				var res phy.Result
-				var err error
 				if tr != nil {
 					emit(start, core, bs, j.idx, trace.EvStart, "")
-					// Traced runs walk the pipeline stage by stage so each
-					// task boundary gets an EvPhase; the untraced path keeps
-					// the one-call Process fast path.
-					var stages []phy.Stage
-					stages, err = rx.Pipeline(pb.iq, pb.n0)
+				}
+				// Walk the pipeline stage by stage: each boundary gets an
+				// EvPhase when traced and a per-stage histogram sample, and
+				// each stage's subtasks fan out across the pool.
+				var res phy.Result
+				stages, err := rx.Pipeline(pb.iq, pb.n0)
+				if err == nil {
 					for _, stg := range stages {
-						emit(time.Now(), core, bs, j.idx, trace.EvPhase, string(stg.Name))
-						for _, sub := range stg.Subtasks {
-							sub()
+						stageStart := time.Now()
+						if tr != nil {
+							emit(stageStart, core, bs, j.idx, trace.EvPhase, string(stg.Name))
 						}
+						if pool != nil {
+							pool.Run(stg.Subtasks)
+						} else {
+							for _, sub := range stg.Subtasks {
+								sub()
+							}
+						}
+						lo.stage(stg.Name, time.Since(stageStart).Seconds()*1e6)
 					}
-					if err == nil {
-						res = rx.Result()
-					}
-				} else {
-					res, err = rx.Process(pb.iq, pb.n0)
+					res = rx.Result()
 				}
 				done := time.Now()
 				outcome := "ack"
@@ -267,6 +280,7 @@ func Run(cfg Config) (*Stats, error) {
 					st.Decoded++
 				}
 				mu.Unlock()
+				arena.Put(rx) // res (aliasing rx's scratch) is fully consumed
 				lo.processed(outcome, procUS, lateUS)
 				if tr != nil {
 					emit(done, core, bs, j.idx, trace.EvFinish, outcome)

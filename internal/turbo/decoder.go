@@ -24,8 +24,8 @@ type Decoder struct {
 	la     []float64 // a-priori for decoder 1
 	la2    []float64 // a-priori for decoder 2
 	le     []float64 // extrinsic out
+	le1    []float64 // decoder 1 extrinsic, kept for the final total
 	alpha  []float64 // (K+1) × numStates
-	beta   []float64
 	gamma0 []float64 // branch metric for u=0, per step
 	gamma1 []float64
 	total  []float64
@@ -46,8 +46,8 @@ func NewDecoder(k int) (*Decoder, error) {
 		la:            make([]float64, k),
 		la2:           make([]float64, k),
 		le:            make([]float64, k),
+		le1:           make([]float64, k),
 		alpha:         make([]float64, (k+1)*numStates),
-		beta:          make([]float64, (k+1)*numStates),
 		gamma0:        make([]float64, k),
 		gamma1:        make([]float64, k),
 		total:         make([]float64, k),
@@ -64,9 +64,13 @@ type Result struct {
 
 // Decode runs iterative decoding over the three soft streams (each K+4 LLRs,
 // as produced by rate dematching). check, if non-nil, is evaluated on the
-// hard decisions after each full iteration and decoding stops early when it
-// returns true — the LTE receiver uses the code-block CRC here, and the
-// returned iteration count is the paper's L.
+// hard decisions after each constituent pass (every half-iteration) and
+// decoding stops early when it returns true — the LTE receiver uses the
+// code-block CRC here, and the returned iteration count (rounded up to full
+// iterations) is the paper's L. At high SNR the first decoder's output is
+// already CRC-clean, so the half-iteration check saves the entire second
+// constituent pass. Decode does not allocate: all intermediate state lives
+// in the Decoder's scratch buffers.
 func (d *Decoder) Decode(s0, s1, s2 []float64, check func([]byte) bool) Result {
 	k := d.K
 	if len(s0) != k+4 || len(s1) != k+4 || len(s2) != k+4 {
@@ -84,45 +88,70 @@ func (d *Decoder) Decode(s0, s1, s2 []float64, check func([]byte) bool) Result {
 	res := Result{Bits: d.hard}
 	for it := 1; it <= d.MaxIterations; it++ {
 		res.Iterations = it
-		// Decoder 1 on natural order.
-		d.constituent(sys, par1, d.la, x1, z1, d.le)
+		// Decoder 1 on natural order. Its a-posteriori is already
+		// sys + la + le1, so the CRC can rule mid-iteration.
+		d.constituent(sys, par1, d.la, x1, z1, d.le1)
+		if check != nil && check(d.hardDecide(sys)) {
+			res.OK = true
+			return res
+		}
 		// Interleave extrinsic -> a-priori of decoder 2.
-		d.il.PermuteF(d.le, d.la2)
-		le1 := append([]float64(nil), d.le...) // keep for the final total
+		d.il.PermuteF(d.le1, d.la2)
 		// Decoder 2 on interleaved order.
 		d.constituent(d.sysI, par2, d.la2, x2, z2, d.le)
 		// Deinterleave extrinsic -> a-priori of decoder 1.
 		d.il.InverseF(d.le, d.la)
 
-		for i := 0; i < k; i++ {
-			d.total[i] = sys[i] + d.la[i] + le1[i]
-			if d.total[i] < 0 {
-				d.hard[i] = 1
-			} else {
-				d.hard[i] = 0
-			}
-		}
-		if check != nil && check(d.hard) {
+		if check != nil && check(d.hardDecide(sys)) {
 			res.OK = true
 			return res
 		}
 	}
-	res.OK = check == nil
+	if check == nil {
+		d.hardDecide(sys)
+		res.OK = true
+	}
 	return res
+}
+
+// hardDecide slices the current a-posteriori total into d.hard and returns
+// it. The total after decoder 1 is sys + la + le1 with la the freshest
+// deinterleaved extrinsic of decoder 2 (zero before the first iteration).
+func (d *Decoder) hardDecide(sys []float64) []byte {
+	total, la, le1, hard := d.total, d.la, d.le1, d.hard
+	for i := range total {
+		total[i] = sys[i] + la[i] + le1[i]
+		if total[i] < 0 {
+			hard[i] = 1
+		} else {
+			hard[i] = 0
+		}
+	}
+	return hard
 }
 
 // constituent runs one max-log-MAP pass: systematic LLRs lsys, parity LLRs
 // lpar, a-priori la (all length K), plus 3 termination systematic/parity
 // LLRs. It writes the extrinsic output into le.
+//
+// The three recursions below are fully unrolled over the 8-state LTE trellis
+// (see trellis.go; TestConstituentWiring verifies the hardcoded wiring
+// against the canonical tables). Every branch metric is one of the four sign
+// combinations ±gs ± gp, computed once per step; unreachable states carry
+// exactly negInf, which survives the additions unchanged (|metric| is far
+// below the ulp of 1e30), so the explicit reachability guards of the
+// straightforward implementation are unnecessary and the arithmetic stays
+// bit-identical to it.
 func (d *Decoder) constituent(lsys, lpar, la []float64, xTail, zTail [3]float64, le []float64) {
 	k := d.K
-	alpha, beta := d.alpha, d.beta
+	alpha := d.alpha
 
 	// Branch metrics: gamma(u) = ½(1-2u)(lsys+la) + ½(1-2z)lpar, with the
 	// parity term folded in per-state below (z depends on the state).
+	gamma0, gamma1 := d.gamma0, d.gamma1
 	for i := 0; i < k; i++ {
-		d.gamma0[i] = 0.5 * (lsys[i] + la[i])
-		d.gamma1[i] = 0.5 * lpar[i]
+		gamma0[i] = 0.5 * (lsys[i] + la[i])
+		gamma1[i] = 0.5 * lpar[i]
 	}
 
 	// Forward recursion. alpha[0] = {0, -inf...}.
@@ -131,27 +160,103 @@ func (d *Decoder) constituent(lsys, lpar, la []float64, xTail, zTail [3]float64,
 		alpha[s] = negInf
 	}
 	for i := 0; i < k; i++ {
-		cur := alpha[i*numStates : (i+1)*numStates]
-		next := alpha[(i+1)*numStates : (i+2)*numStates]
-		for s := range next {
-			next[s] = negInf
+		cur := (*[numStates]float64)(alpha[i*numStates:])
+		next := (*[numStates]float64)(alpha[(i+1)*numStates:])
+		gs, gp := gamma0[i], gamma1[i]
+		ngs := -gs
+		c0 := gs + gp  // u=0, z=0
+		c1 := gs - gp  // u=0, z=1
+		c2 := ngs + gp // u=1, z=0
+		c3 := ngs - gp // u=1, z=1
+
+		b0, b1, b2, b3 := cur[0], cur[1], cur[2], cur[3]
+		b4, b5, b6, b7 := cur[4], cur[5], cur[6], cur[7]
+		n0 := b0 + c0
+		if v := b4 + c3; v > n0 {
+			n0 = v
 		}
-		gs, gp := d.gamma0[i], d.gamma1[i]
-		for s := 0; s < numStates; s++ {
-			as := cur[s]
-			if as <= negInf {
-				continue
+		n1 := b0 + c3
+		if v := b4 + c0; v > n1 {
+			n1 = v
+		}
+		n2 := b1 + c1
+		if v := b5 + c2; v > n2 {
+			n2 = v
+		}
+		n3 := b1 + c2
+		if v := b5 + c1; v > n3 {
+			n3 = v
+		}
+		n4 := b2 + c2
+		if v := b6 + c1; v > n4 {
+			n4 = v
+		}
+		n5 := b2 + c1
+		if v := b6 + c2; v > n5 {
+			n5 = v
+		}
+		n6 := b3 + c3
+		if v := b7 + c0; v > n6 {
+			n6 = v
+		}
+		n7 := b3 + c0
+		if v := b7 + c3; v > n7 {
+			n7 = v
+		}
+
+		// Normalize in the same pass to keep metrics bounded over long
+		// blocks: subtract the row maximum, leaving unreachable states at
+		// exactly negInf (identical to normalize()).
+		m := n0
+		if n1 > m {
+			m = n1
+		}
+		if n2 > m {
+			m = n2
+		}
+		if n3 > m {
+			m = n3
+		}
+		if n4 > m {
+			m = n4
+		}
+		if n5 > m {
+			m = n5
+		}
+		if n6 > m {
+			m = n6
+		}
+		if n7 > m {
+			m = n7
+		}
+		if m > negInf {
+			if n0 > negInf {
+				n0 -= m
 			}
-			for u := 0; u <= 1; u++ {
-				m := as + branchMetric(u, parityBit[s][u], gs, gp)
-				ns := nextState[s][u]
-				if m > next[ns] {
-					next[ns] = m
-				}
+			if n1 > negInf {
+				n1 -= m
+			}
+			if n2 > negInf {
+				n2 -= m
+			}
+			if n3 > negInf {
+				n3 -= m
+			}
+			if n4 > negInf {
+				n4 -= m
+			}
+			if n5 > negInf {
+				n5 -= m
+			}
+			if n6 > negInf {
+				n6 -= m
+			}
+			if n7 > negInf {
+				n7 -= m
 			}
 		}
-		// Normalize to keep metrics bounded over long blocks.
-		normalize(next)
+		next[0], next[1], next[2], next[3] = n0, n1, n2, n3
+		next[4], next[5], next[6], next[7] = n4, n5, n6, n7
 	}
 
 	// Tail: compute beta[K] by backward recursion over the three forced
@@ -176,55 +281,157 @@ func (d *Decoder) constituent(lsys, lpar, la []float64, xTail, zTail [3]float64,
 		}
 		tb = nb
 	}
-	bk := beta[k*numStates : (k+1)*numStates]
-	copy(bk, tb[:])
 
-	// Backward recursion.
+	// Backward recursion fused with LLR extraction. The beta row for step
+	// i+1 lives in b0..b7 while le[i] is computed (m_u = max over states of
+	// alpha[i][s] + gamma(s,u) + beta[i+1][nextState[s][u]]), then the row
+	// for step i replaces it in the same registers — beta never touches
+	// memory, and the separate LLR sweep over the trellis disappears.
+	b0, b1, b2, b3 := tb[0], tb[1], tb[2], tb[3]
+	b4, b5, b6, b7 := tb[4], tb[5], tb[6], tb[7]
 	for i := k - 1; i >= 0; i-- {
-		nextB := beta[(i+1)*numStates : (i+2)*numStates]
-		curB := beta[i*numStates : (i+1)*numStates]
-		gs, gp := d.gamma0[i], d.gamma1[i]
-		for s := 0; s < numStates; s++ {
-			best := negInf
-			for u := 0; u <= 1; u++ {
-				ns := nextState[s][u]
-				if nextB[ns] <= negInf {
-					continue
-				}
-				m := nextB[ns] + branchMetric(u, parityBit[s][u], gs, gp)
-				if m > best {
-					best = m
-				}
-			}
-			curB[s] = best
-		}
-		normalize(curB)
-	}
+		curA := (*[numStates]float64)(alpha[i*numStates:])
+		gs, gp := gamma0[i], gamma1[i]
+		ngs := -gs
+		c0 := gs + gp
+		c1 := gs - gp
+		c2 := ngs + gp
+		c3 := ngs - gp
 
-	// Per-bit LLR and extrinsic.
-	for i := 0; i < k; i++ {
-		curA := alpha[i*numStates : (i+1)*numStates]
-		nextB := beta[(i+1)*numStates : (i+2)*numStates]
-		gs, gp := d.gamma0[i], d.gamma1[i]
-		m0, m1 := negInf, negInf
-		for s := 0; s < numStates; s++ {
-			as := curA[s]
-			if as <= negInf {
-				continue
+		a0, a1, a2, a3 := curA[0], curA[1], curA[2], curA[3]
+		a4, a5, a6, a7 := curA[4], curA[5], curA[6], curA[7]
+
+		m0 := a0 + c0 + b0
+		if v := a1 + c1 + b2; v > m0 {
+			m0 = v
+		}
+		if v := a2 + c1 + b5; v > m0 {
+			m0 = v
+		}
+		if v := a3 + c0 + b7; v > m0 {
+			m0 = v
+		}
+		if v := a4 + c0 + b1; v > m0 {
+			m0 = v
+		}
+		if v := a5 + c1 + b3; v > m0 {
+			m0 = v
+		}
+		if v := a6 + c1 + b4; v > m0 {
+			m0 = v
+		}
+		if v := a7 + c0 + b6; v > m0 {
+			m0 = v
+		}
+
+		m1 := a0 + c3 + b1
+		if v := a1 + c2 + b3; v > m1 {
+			m1 = v
+		}
+		if v := a2 + c2 + b4; v > m1 {
+			m1 = v
+		}
+		if v := a3 + c3 + b6; v > m1 {
+			m1 = v
+		}
+		if v := a4 + c3 + b0; v > m1 {
+			m1 = v
+		}
+		if v := a5 + c2 + b2; v > m1 {
+			m1 = v
+		}
+		if v := a6 + c2 + b5; v > m1 {
+			m1 = v
+		}
+		if v := a7 + c3 + b7; v > m1 {
+			m1 = v
+		}
+
+		le[i] = (m0 - m1) - lsys[i] - la[i]
+
+		n0 := b0 + c0
+		if v := b1 + c3; v > n0 {
+			n0 = v
+		}
+		n1 := b2 + c1
+		if v := b3 + c2; v > n1 {
+			n1 = v
+		}
+		n2 := b5 + c1
+		if v := b4 + c2; v > n2 {
+			n2 = v
+		}
+		n3 := b7 + c0
+		if v := b6 + c3; v > n3 {
+			n3 = v
+		}
+		n4 := b1 + c0
+		if v := b0 + c3; v > n4 {
+			n4 = v
+		}
+		n5 := b3 + c1
+		if v := b2 + c2; v > n5 {
+			n5 = v
+		}
+		n6 := b4 + c1
+		if v := b5 + c2; v > n6 {
+			n6 = v
+		}
+		n7 := b6 + c0
+		if v := b7 + c3; v > n7 {
+			n7 = v
+		}
+
+		m := n0
+		if n1 > m {
+			m = n1
+		}
+		if n2 > m {
+			m = n2
+		}
+		if n3 > m {
+			m = n3
+		}
+		if n4 > m {
+			m = n4
+		}
+		if n5 > m {
+			m = n5
+		}
+		if n6 > m {
+			m = n6
+		}
+		if n7 > m {
+			m = n7
+		}
+		if m > negInf {
+			if n0 > negInf {
+				n0 -= m
 			}
-			if b := nextB[nextState[s][0]]; b > negInf {
-				if m := as + branchMetric(0, parityBit[s][0], gs, gp) + b; m > m0 {
-					m0 = m
-				}
+			if n1 > negInf {
+				n1 -= m
 			}
-			if b := nextB[nextState[s][1]]; b > negInf {
-				if m := as + branchMetric(1, parityBit[s][1], gs, gp) + b; m > m1 {
-					m1 = m
-				}
+			if n2 > negInf {
+				n2 -= m
+			}
+			if n3 > negInf {
+				n3 -= m
+			}
+			if n4 > negInf {
+				n4 -= m
+			}
+			if n5 > negInf {
+				n5 -= m
+			}
+			if n6 > negInf {
+				n6 -= m
+			}
+			if n7 > negInf {
+				n7 -= m
 			}
 		}
-		llr := m0 - m1
-		le[i] = llr - lsys[i] - la[i]
+		b0, b1, b2, b3 = n0, n1, n2, n3
+		b4, b5, b6, b7 = n4, n5, n6, n7
 	}
 }
 

@@ -110,10 +110,19 @@ func (s *Segmentation) Split(in []byte) ([][]byte, error) {
 // decoder already used them for early termination; callers that need a
 // trustworthy answer verify the transport-block CRC24A over the result.
 func (s *Segmentation) Join(blocks [][]byte) ([]byte, error) {
+	return s.JoinInto(make([]byte, s.B), blocks)
+}
+
+// JoinInto is Join into a caller-provided buffer of exactly B bytes — the
+// allocation-free path of the receive chain. It returns dst for convenience.
+func (s *Segmentation) JoinInto(dst []byte, blocks [][]byte) ([]byte, error) {
 	if len(blocks) != s.C {
 		return nil, fmt.Errorf("turbo: Join got %d blocks, want %d", len(blocks), s.C)
 	}
-	out := make([]byte, 0, s.B)
+	if len(dst) != s.B {
+		return nil, fmt.Errorf("turbo: Join buffer length %d, want %d", len(dst), s.B)
+	}
+	pos := 0
 	for r, blk := range blocks {
 		if len(blk) != s.Sizes[r] {
 			return nil, fmt.Errorf("turbo: block %d length %d, want %d", r, len(blk), s.Sizes[r])
@@ -122,9 +131,9 @@ func (s *Segmentation) Join(blocks [][]byte) ([]byte, error) {
 		if r == 0 {
 			payload = payload[s.F:]
 		}
-		out = append(out, payload...)
+		pos += copy(dst[pos:], payload)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // CheckBlockCRC verifies the CRC24B of one decoded code block. For C == 1
