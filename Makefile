@@ -4,8 +4,9 @@ GO ?= go
 # runs are stable enough for bench-check to be a hard gate.
 BENCHTIME ?= 10x
 # BENCH_PHY matches the PHY fast-path benchmarks (end-to-end serial and
-# parallel, plus the per-stage sub-benchmarks).
-BENCH_PHY = BenchmarkPHY(EndToEnd|FFT|Demod|Decode)
+# parallel, per-stage sub-benchmarks, the quant/float decode pair, and the
+# cross-subframe pipelined window).
+BENCH_PHY = BenchmarkPHY(EndToEnd|FFT|Demod|Decode|Pipelined)
 
 .PHONY: ci build test vet race fmt-check bench bench-all bench-check trace-demo sweep-check baselines obs-smoke profile-phy phy-speedup
 
@@ -56,7 +57,7 @@ bench-check:
 	  $(GO) test -bench='$(BENCH_PHY)' -benchtime=$(BENCHTIME) -run='^$$' .; } \
 	| $(GO) run ./cmd/benchjson -check BENCH_sweep.json \
 		-tol ns/op=0.35 -tol us/subframe=0.35 -tol us/stage=0.35 \
-		-tol shards/s=0.35 -tol B/op=1.0
+		-tol shards/s=0.35 -tol subframes/s=0.35 -tol B/op=1.0
 
 # profile-phy captures a CPU profile of the end-to-end PHY benchmark — the
 # workflow behind the fast-path optimizations (constituent fusion, twiddle

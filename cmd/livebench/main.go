@@ -37,6 +37,7 @@ func main() {
 		snr       = flag.Float64("snr", 30, "SNR in dB")
 		dilation  = flag.Float64("dilation", 50, "subframe-clock dilation factor")
 		phyWork   = flag.Int("phy-workers", 1, "subtask workers per core (parallel PHY fast path; ≤1 = serial)")
+		pipeDepth = flag.Int("pipeline-depth", 1, "cross-subframe window per core (≥2 overlaps consecutive subframes' stages; ≤1 = serial)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		httpAddr  = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060) during the run")
 		pushAddr  = flag.String("push", "", "stream registry snapshots to the obscollect collector at this address (host:port)")
@@ -88,18 +89,19 @@ func main() {
 		*bs, *subframes, *bs**cores, *dilation, runtime.GOMAXPROCS(0), runtime.NumCPU())
 
 	st, err := realtime.Run(realtime.Config{
-		Basestations: *bs,
-		CoresPerBS:   *cores,
-		Subframes:    *subframes,
-		Antennas:     *antennas,
-		SNRdB:        *snr,
-		MCS:          *mcs,
-		Profiles:     trace.DefaultProfiles,
-		Dilation:     *dilation,
-		PHYWorkers:   *phyWork,
-		Seed:         *seed,
-		Tracer:       acct,
-		Obs:          reg,
+		Basestations:  *bs,
+		CoresPerBS:    *cores,
+		Subframes:     *subframes,
+		Antennas:      *antennas,
+		SNRdB:         *snr,
+		MCS:           *mcs,
+		Profiles:      trace.DefaultProfiles,
+		Dilation:      *dilation,
+		PHYWorkers:    *phyWork,
+		PipelineDepth: *pipeDepth,
+		Seed:          *seed,
+		Tracer:        acct,
+		Obs:           reg,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "livebench: %v\n", err)

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	phyprof [-trials 3] [-antennas 1,2] [-snrs 10,20,30] [-seed 1] [-workers 1]
+//	phyprof [-trials 3] [-antennas 1,2] [-snrs 10,20,30] [-seed 1] [-workers 1] [-decoder quant|float]
 package main
 
 import (
@@ -23,6 +23,7 @@ import (
 	"rtopex/internal/model"
 	"rtopex/internal/phy"
 	"rtopex/internal/stats"
+	"rtopex/internal/turbo"
 )
 
 func main() {
@@ -33,8 +34,19 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		mcsStep = flag.Int("mcs-step", 3, "MCS sweep step (1 = all 28)")
 		workers = flag.Int("workers", 1, "subtask workers for the parallel fast path (≤1 = serial)")
+		decoder = flag.String("decoder", "quant", "turbo decode arithmetic: quant (int16 fast path) or float (float64 reference)")
 	)
 	flag.Parse()
+
+	var path turbo.Path
+	switch *decoder {
+	case "quant":
+		path = turbo.PathQuantized
+	case "float":
+		path = turbo.PathFloat64
+	default:
+		fatal(fmt.Errorf("unknown -decoder %q (want quant or float)", *decoder))
+	}
 
 	ants, err := parseInts(*antList)
 	if err != nil {
@@ -58,7 +70,7 @@ func main() {
 		for mcs := 0; mcs <= lte.MaxMCS; mcs += *mcsStep {
 			for _, snr := range snrs {
 				for trial := 0; trial < *trials; trial++ {
-					o, err := measureOne(r, arena, pool, mcs, n, snr)
+					o, err := measureOne(r, arena, pool, mcs, n, snr, path)
 					if err != nil {
 						fatal(err)
 					}
@@ -86,13 +98,14 @@ func main() {
 // and returns the observation for the model fit. Receivers are borrowed
 // from the arena (so repeated cells reuse warmed scratch) and, when a pool
 // is given, the pipeline stages fan out across its workers.
-func measureOne(r *stats.RNG, arena *phy.Arena, pool *phy.Pool, mcs, antennas int, snrDB float64) (model.Observation, error) {
+func measureOne(r *stats.RNG, arena *phy.Arena, pool *phy.Pool, mcs, antennas int, snrDB float64, path turbo.Path) (model.Observation, error) {
 	cfg := phy.Config{
-		Bandwidth: lte.BW10MHz,
-		MCS:       mcs,
-		Antennas:  antennas,
-		RNTI:      0x2002,
-		CellID:    11,
+		Bandwidth:   lte.BW10MHz,
+		MCS:         mcs,
+		Antennas:    antennas,
+		RNTI:        0x2002,
+		CellID:      11,
+		DecoderPath: path,
 	}
 	tx, err := phy.NewTransmitter(cfg)
 	if err != nil {

@@ -6,6 +6,7 @@ var (
 	cacheMu    sync.Mutex
 	plans      = map[int]*Plan{}
 	bluesteins = map[int]*bluestein{}
+	smooths    = map[int]*smoothPlan{}
 )
 
 // planCache returns a shared Plan for power-of-two size n.
@@ -17,6 +18,18 @@ func planCache(n int) *Plan {
 	}
 	p := MustPlan(n)
 	plans[n] = p
+	return p
+}
+
+// smoothCache returns a shared mixed-radix plan for 5-smooth size n.
+func smoothCache(n int) *smoothPlan {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if p, ok := smooths[n]; ok {
+		return p
+	}
+	p := newSmoothPlan(n)
+	smooths[n] = p
 	return p
 }
 

@@ -1,8 +1,9 @@
 // Package fft implements the discrete Fourier transforms needed by the LTE
 // uplink chain: an iterative radix-2 FFT for the OFDM (de)modulation sizes
-// (powers of two: 512, 1024, 2048) and Bluestein's chirp-z algorithm for the
-// SC-FDMA transform precoding sizes (12·nPRB, e.g. 600 for 50 PRBs), which
-// are not powers of two.
+// (powers of two: 512, 1024, 2048), a mixed-radix (2/3/4/5) FFT for the
+// 5-smooth SC-FDMA transform precoding sizes (12·nPRB, e.g. 600 for
+// 50 PRBs), and Bluestein's chirp-z algorithm as the fallback for any other
+// length.
 //
 // Conventions: Forward computes X[k] = Σ x[n]·e^{-2πi kn/N} (no scaling);
 // Inverse divides by N so Inverse(Forward(x)) == x.
@@ -82,22 +83,42 @@ func (p *Plan) transform(x []complex128, inverse bool) {
 	}
 	// Iterative Cooley-Tukey butterflies, twiddle table chosen once per
 	// direction (twiddleInv holds the conjugates the inverse pass needs).
+	// Stages run two at a time: fusing a stage pair keeps the four involved
+	// elements in registers and halves the passes over x, which dominates at
+	// the OFDM sizes. An odd stage count peels the twiddle-free size-2 stage
+	// first. The arithmetic per butterfly is unchanged, so results are
+	// bit-identical to the single-stage schedule.
 	tw := p.twiddle
 	if inverse {
 		tw = p.twiddleInv
 	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := n / size
-		for start := 0; start < n; start += size {
-			ti := 0
-			for k := start; k < start+half; k++ {
-				w := tw[ti]
-				u := x[k]
-				v := x[k+half] * w
-				x[k] = u + v
-				x[k+half] = u - v
-				ti += step
+	size := 2
+	if bits.TrailingZeros(uint(n))&1 == 1 {
+		for k := 0; k < n; k += 2 {
+			u, v := x[k], x[k+1]
+			x[k], x[k+1] = u+v, u-v
+		}
+		size = 4
+	}
+	// Each pass covers stages size and 2·size over blocks of 2·size.
+	for ; size < n; size <<= 2 {
+		h := size >> 1
+		stepA := n / size
+		stepB := stepA >> 1
+		for start := 0; start < n; start += size << 1 {
+			for j := 0; j < h; j++ {
+				i0 := start + j
+				i1 := i0 + h
+				i2 := i0 + size
+				i3 := i2 + h
+				wA := tw[j*stepA]
+				u0, v0 := x[i0], x[i1]*wA
+				u2, v2 := x[i2], x[i3]*wA
+				y0, y1 := u0+v0, u0-v0
+				t2 := (u2 + v2) * tw[j*stepB]
+				t3 := (u2 - v2) * tw[(j+h)*stepB]
+				x[i0], x[i2] = y0+t2, y0-t2
+				x[i1], x[i3] = y1+t3, y1-t3
 			}
 		}
 	}
@@ -165,8 +186,9 @@ func (b *bluestein) forwardInto(dst, src, work []complex128) {
 	}
 }
 
-// DFT computes the forward DFT of x at any length, choosing radix-2 when the
-// length is a power of two and Bluestein otherwise. It allocates its result.
+// DFT computes the forward DFT of x at any length: radix-2 when the length
+// is a power of two, mixed-radix when it is 5-smooth, Bluestein otherwise.
+// It allocates its result.
 func DFT(x []complex128) []complex128 {
 	n := len(x)
 	if n == 0 {
@@ -175,6 +197,11 @@ func DFT(x []complex128) []complex128 {
 	if n&(n-1) == 0 {
 		out := append([]complex128(nil), x...)
 		planCache(n).Forward(out)
+		return out
+	}
+	if isSmooth(n) {
+		out := make([]complex128, n)
+		smoothCache(n).forwardInto(out, x, 0, 1)
 		return out
 	}
 	return bluesteinCache(n).forward(x)
@@ -192,11 +219,15 @@ func IDFT(x []complex128) []complex128 {
 }
 
 // WorkLen returns the scratch length DFTInto/IDFTInto require for size n:
-// zero when n is a power of two (the transform runs in place), otherwise
-// the Bluestein convolution size.
+// zero when n is a power of two (the transform runs in place), n itself for
+// 5-smooth sizes (the mixed-radix recursion is out-of-place), otherwise the
+// Bluestein convolution size.
 func WorkLen(n int) int {
 	if n <= 0 || n&(n-1) == 0 {
 		return 0
+	}
+	if isSmooth(n) {
+		return n
 	}
 	return bluesteinCache(n).m
 }
@@ -215,6 +246,16 @@ func DFTInto(dst, src, work []complex128) {
 	if n&(n-1) == 0 {
 		copy(dst, src)
 		planCache(n).Forward(dst)
+		return
+	}
+	if isSmooth(n) {
+		if len(work) < n {
+			panic(fmt.Sprintf("fft: DFTInto work length %d, want %d", len(work), n))
+		}
+		// Stage through work: the recursion is out-of-place and dst may
+		// alias src.
+		smoothCache(n).forwardInto(work[:n], src, 0, 1)
+		copy(dst, work)
 		return
 	}
 	b := bluesteinCache(n)

@@ -1,0 +1,73 @@
+package modulation
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantizeLLREdges pins the Q9.6 boundary behavior: rounding away from
+// zero, symmetric saturation at ±LLRQMax, and the non-finite inputs a noisy
+// demapper can emit (±Inf from a zero-noise guard miss, NaN from 0/0).
+func TestQuantizeLLREdges(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want int16
+	}{
+		{0, 0},
+		{1, LLRQScale}, // 1 LLR unit = 2^6
+		{-1, -LLRQScale},
+		{1.0 / LLRQScale, 1}, // one quantization step
+		{-1.0 / LLRQScale, -1},
+		{0.5 / LLRQScale, 1}, // half a step rounds away from zero
+		{-0.5 / LLRQScale, -1},
+		{0.49 / LLRQScale, 0}, // just under half a step truncates
+		{-0.49 / LLRQScale, 0},
+		{127, 127 * LLRQScale}, // near the rail, still exact
+		{128, LLRQMax},         // 128·64 = 8192 saturates to 8191
+		{-128, -LLRQMax},
+		{1e6, LLRQMax},
+		{-1e6, -LLRQMax},
+		{math.Inf(1), LLRQMax},
+		{math.Inf(-1), -LLRQMax},
+		{math.NaN(), 0},
+	}
+	for _, c := range cases {
+		if got := QuantizeLLR(c.in); got != c.want {
+			t.Errorf("QuantizeLLR(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestQuantizeLLRMonotone: quantization must preserve ordering (and in
+// particular the sign), or soft decisions would flip through the quantizer.
+func TestQuantizeLLRMonotone(t *testing.T) {
+	prev := int16(math.MinInt16)
+	for x := -200.0; x <= 200.0; x += 0.0625 {
+		q := QuantizeLLR(x)
+		if q < prev {
+			t.Fatalf("QuantizeLLR not monotone at %v: %d < %d", x, q, prev)
+		}
+		if x > 0 && q < 0 || x < 0 && q > 0 {
+			t.Fatalf("QuantizeLLR(%v) = %d flips sign", x, q)
+		}
+		prev = q
+	}
+}
+
+func TestQuantizeLLRsInto(t *testing.T) {
+	src := []float64{0, 1, -1, math.Inf(1), math.NaN(), 1e9}
+	dst := make([]int16, len(src))
+	QuantizeLLRsInto(dst, src)
+	want := []int16{0, LLRQScale, -LLRQScale, LLRQMax, 0, LLRQMax}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Errorf("dst[%d] = %d, want %d", i, dst[i], want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	QuantizeLLRsInto(make([]int16, 2), src)
+}

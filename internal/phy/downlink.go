@@ -221,7 +221,7 @@ func NewDLReceiver(cfg Config) (*DLReceiver, error) {
 		plan:   plan,
 		crs:    pilotSequence(cfg.CellID^0x2a5, crsPilotCount(cfg.Bandwidth)),
 	}
-	for _, k := range layout.seg.Sizes {
+	for i, k := range layout.seg.Sizes {
 		rm, err := turbo.NewRateMatcher(k)
 		if err != nil {
 			return nil, err
@@ -231,6 +231,8 @@ func NewDLReceiver(cfg Config) (*DLReceiver, error) {
 			return nil, err
 		}
 		dec.MaxIterations = cfg.maxIter()
+		dec.Path = cfg.DecoderPath
+		dec.PrecheckRaw = rm.CoversSystematic(layout.es[i], 0)
 		rx.rms = append(rx.rms, rm)
 		rx.decoders = append(rx.decoders, dec)
 	}

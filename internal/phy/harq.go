@@ -78,6 +78,10 @@ func (h *HARQReceiver) Receive(iq [][]complex128, n0 float64, rv int) (Result, e
 			}
 			return bits.CheckCRC24A(b[seg.F:])
 		}
+		// Combined retransmissions can fill systematic punctures, so the
+		// raw pre-check may genuinely pass here even when the first rv
+		// could not cover it; always leave it on for HARQ decodes.
+		h.rx.decoders[r].PrecheckRaw = true
 		dres := h.rx.decoders[r].Decode(h.soft[r][0], h.soft[r][1], h.soft[r][2], check)
 		blocks[r] = append([]byte(nil), dres.Bits...)
 		res.BlockOK[r] = dres.OK

@@ -38,6 +38,10 @@ type Config struct {
 	// MaxIterations is the turbo decoder's iteration cap (the paper's Lm,
 	// default 4 when zero).
 	MaxIterations int
+	// DecoderPath selects the turbo decode arithmetic: the int16 quantized
+	// fast path (zero value, the default) or turbo.PathFloat64 for the
+	// float64 reference.
+	DecoderPath turbo.Path
 }
 
 func (c Config) maxIter() int {
@@ -59,6 +63,9 @@ func (c Config) validate() error {
 	}
 	if c.MCS > lte.MaxMCS {
 		return fmt.Errorf("phy: MCS %d above supported maximum %d", c.MCS, lte.MaxMCS)
+	}
+	if !c.DecoderPath.Valid() {
+		return fmt.Errorf("phy: unknown decoder path %v", c.DecoderPath)
 	}
 	return nil
 }

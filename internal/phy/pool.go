@@ -17,18 +17,38 @@ import (
 // would otherwise dominate the fan-out cost. The calling goroutine
 // participates in the work, so a 1-worker pool degenerates to the serial
 // loop with no synchronization at all. Run itself does not allocate.
+//
+// A single Pool can execute stages for several subframes at once: each
+// concurrent caller drives its own Lane, and the shared workers drain one
+// work queue, so an idle moment in one subframe's stage is spent on
+// another's — the work-conserving core of the paper's scheduling argument.
 type Pool struct {
 	workers int
-	work    chan func()
-	pending atomic.Int64  // subtasks of the current stage not yet finished
-	done    chan struct{} // barrier: signalled when pending hits zero
+	work    chan poolTask
 	stop    chan struct{} // closed by Close
-	closed  bool
+	closed  atomic.Bool
+	main    Lane // the lane Run uses
 }
 
-// poolQueueCap bounds the queued subtasks of one stage. The largest stage is
-// FFT with antennas × symbols subtasks (56 at 4 antennas), so sends from Run
-// never block in practice even with every worker busy.
+// poolTask is one queued subtask tagged with the stage barrier it belongs to.
+type poolTask struct {
+	f  func()
+	ln *Lane
+}
+
+// Lane is one caller's stage barrier on a shared Pool. RunOn calls on
+// distinct lanes may run concurrently; a single lane must only be driven by
+// one goroutine at a time. The zero Lane is not usable — get one from
+// NewLane.
+type Lane struct {
+	pending atomic.Int64  // subtasks of the lane's current stage not yet finished
+	done    chan struct{} // barrier: signalled when pending hits zero
+}
+
+// poolQueueCap bounds the queued subtasks across all lanes. The largest
+// stage is FFT with antennas × symbols subtasks (56 at 4 antennas); even a
+// deep cross-subframe pipeline stays well under the cap, so sends from
+// RunOn all but never block.
 const poolQueueCap = 256
 
 // NewPool builds an execution pool with the given concurrency. workers <= 0
@@ -40,10 +60,10 @@ func NewPool(workers int) *Pool {
 	}
 	p := &Pool{
 		workers: workers,
-		work:    make(chan func(), poolQueueCap),
-		done:    make(chan struct{}, 1),
+		work:    make(chan poolTask, poolQueueCap),
 		stop:    make(chan struct{}),
 	}
+	p.main.done = make(chan struct{}, 1)
 	for i := 1; i < workers; i++ {
 		go p.worker()
 	}
@@ -53,11 +73,27 @@ func NewPool(workers int) *Pool {
 // Workers returns the pool's concurrency (including the calling goroutine).
 func (p *Pool) Workers() int { return p.workers }
 
+// NewLane returns a fresh stage barrier for use with RunOn. Lanes are cheap;
+// give each concurrent pipeline driver its own.
+func (p *Pool) NewLane() *Lane {
+	return &Lane{done: make(chan struct{}, 1)}
+}
+
 // Run executes every subtask of the stage and returns when all completed —
 // the stage barrier. Subtasks run concurrently on up to Workers()
 // goroutines; they must be mutually independent. Run must not be called
-// concurrently with itself on the same Pool.
+// concurrently with itself on the same Pool; concurrent callers use RunOn
+// with private lanes.
 func (p *Pool) Run(subtasks []func()) {
+	p.RunOn(&p.main, subtasks)
+}
+
+// RunOn is Run with an explicit stage barrier, so several goroutines can
+// drive stages through one shared Pool concurrently. While waiting for its
+// own stage, the caller helps execute whatever is queued — including other
+// lanes' subtasks — so no worker (caller or pooled) idles while any lane has
+// runnable work.
+func (p *Pool) RunOn(ln *Lane, subtasks []func()) {
 	n := len(subtasks)
 	if n == 0 {
 		return
@@ -68,29 +104,28 @@ func (p *Pool) Run(subtasks []func()) {
 		}
 		return
 	}
-	p.pending.Store(int64(n))
+	ln.pending.Store(int64(n))
 	for _, sub := range subtasks[1:] {
-		p.work <- sub
+		p.work <- poolTask{f: sub, ln: ln}
 	}
-	// The caller is a worker too: run the first subtask, then help drain
-	// the queue until it is empty, then wait out the stragglers.
-	p.finish(subtasks[0])
+	// The caller is a worker too: run the first subtask, then keep executing
+	// queued work until this lane's barrier releases.
+	p.finish(poolTask{f: subtasks[0], ln: ln})
 	for {
 		select {
-		case f := <-p.work:
-			p.finish(f)
-		default:
-			<-p.done
+		case <-ln.done:
 			return
+		case t := <-p.work:
+			p.finish(t)
 		}
 	}
 }
 
-// finish runs one subtask and releases the barrier if it was the last.
-func (p *Pool) finish(f func()) {
-	f()
-	if p.pending.Add(-1) == 0 {
-		p.done <- struct{}{}
+// finish runs one subtask and releases its lane's barrier if it was the last.
+func (p *Pool) finish(t poolTask) {
+	t.f()
+	if t.ln.pending.Add(-1) == 0 {
+		t.ln.done <- struct{}{}
 	}
 }
 
@@ -99,20 +134,20 @@ func (p *Pool) worker() {
 		select {
 		case <-p.stop:
 			return
-		case f := <-p.work:
-			p.finish(f)
+		case t := <-p.work:
+			p.finish(t)
 		}
 	}
 }
 
 // Close terminates the pool's worker goroutines. The pool must be idle (no
-// Run in flight). Close is idempotent.
+// Run in flight). Close is idempotent and safe to call from several
+// goroutines at once: exactly one caller wins the flag and closes the stop
+// channel.
 func (p *Pool) Close() {
-	if p.closed {
-		return
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.stop)
 	}
-	p.closed = true
-	close(p.stop)
 }
 
 // RunStages executes a staged pipeline in order, with each stage's subtasks

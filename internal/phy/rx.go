@@ -59,9 +59,10 @@ type Receiver struct {
 	plan   *fft.Plan
 	pilot  []complex128
 
-	rms      []*turbo.RateMatcher
-	decoders []*turbo.Decoder
-	descramb []byte // scrambling sequence, applied to LLRs
+	rms        []*turbo.RateMatcher
+	decoders   []*turbo.Decoder
+	rawCovered []bool // [block] rate matching covers all systematic bits at rv 0
+	descramb   []byte // scrambling sequence, applied to LLRs
 
 	// Cached stage decomposition. The subtask closures read the per-call
 	// inputs from curIQ/curN0, which Pipeline sets before returning stages.
@@ -76,6 +77,7 @@ type Receiver struct {
 	fftBufs  [][]complex128      // [antenna·symbols+l] FFT working buffer
 	chRaw    [][]complex128      // [antenna] raw pre-smoothing estimate
 	eqBufs   [][]complex128      // [data symbol] MRC/de-precode buffer
+	denBufs  [][]float64         // [data symbol] per-subcarrier MRC weight
 	idftWork [][]complex128      // [data symbol] Bluestein scratch
 	soft     [][3][]float64      // [block] dematched d0/d1/d2 streams
 	checks   []func([]byte) bool // [block] CRC early-termination hook
@@ -109,7 +111,7 @@ func NewReceiver(cfg Config) (*Receiver, error) {
 		plan:   plan,
 		pilot:  pilotSequence(cfg.CellID, m),
 	}
-	for _, k := range layout.seg.Sizes {
+	for i, k := range layout.seg.Sizes {
 		rm, err := turbo.NewRateMatcher(k)
 		if err != nil {
 			return nil, err
@@ -119,8 +121,13 @@ func NewReceiver(cfg Config) (*Receiver, error) {
 			return nil, err
 		}
 		dec.MaxIterations = cfg.maxIter()
+		dec.Path = cfg.DecoderPath
 		rx.rms = append(rx.rms, rm)
 		rx.decoders = append(rx.decoders, dec)
+		// The iteration-0 raw-hard-decision pre-check only ever pays when
+		// the initial transmission observes every systematic bit; decide
+		// once here instead of sweeping K bits per subframe for nothing.
+		rx.rawCovered = append(rx.rawCovered, rm.CoversSystematic(layout.es[i], 0))
 	}
 	scr := sequence.NewScrambler(sequence.PUSCHInit(cfg.RNTI, 0, cfg.Subframe, cfg.CellID), layout.g)
 	rx.descramb = make([]byte, layout.g)
@@ -159,9 +166,11 @@ func (rx *Receiver) allocScratch() {
 		rx.chRaw[a] = make([]complex128, m)
 	}
 	rx.eqBufs = make([][]complex128, len(dataSymbolIndices))
+	rx.denBufs = make([][]float64, len(dataSymbolIndices))
 	rx.idftWork = make([][]complex128, len(dataSymbolIndices))
 	for ds := range rx.eqBufs {
 		rx.eqBufs[ds] = make([]complex128, m)
+		rx.denBufs[ds] = make([]float64, m)
 		rx.idftWork[ds] = make([]complex128, fft.WorkLen(m))
 	}
 
@@ -336,22 +345,39 @@ func (rx *Receiver) demodSymbol(ds int, n0 float64) {
 	bw := rx.cfg.Bandwidth
 	m := bw.Subcarriers()
 	l := dataSymbolIndices[ds]
-	eq := rx.eqBufs[ds]
+	eq := rx.eqBufs[ds][:m]
+	den := rx.denBufs[ds][:m]
+	// Antenna-major accumulation: each pass streams one channel-estimate row
+	// and one grid row with the indexing hoisted out of the subcarrier loop,
+	// instead of re-resolving rx.chEst[a][k] / rx.grid[a][l][k] per element.
+	for a := 0; a < rx.cfg.Antennas; a++ {
+		h := rx.chEst[a][:m]
+		y := rx.grid[a][l][:m]
+		if a == 0 {
+			for k := 0; k < m; k++ {
+				hk, yk := h[k], y[k]
+				eq[k] = complex(real(hk), -imag(hk)) * yk
+				den[k] = real(hk)*real(hk) + imag(hk)*imag(hk)
+			}
+		} else {
+			for k := 0; k < m; k++ {
+				hk, yk := h[k], y[k]
+				eq[k] += complex(real(hk), -imag(hk)) * yk
+				den[k] += real(hk)*real(hk) + imag(hk)*imag(hk)
+			}
+		}
+	}
 	var invDenSum float64
 	for k := 0; k < m; k++ {
-		var num complex128
-		var den float64
-		for a := 0; a < rx.cfg.Antennas; a++ {
-			h := rx.chEst[a][k]
-			y := rx.grid[a][l][k]
-			num += complex(real(h), -imag(h)) * y
-			den += real(h)*real(h) + imag(h)*imag(h)
+		d := den[k]
+		if d < 1e-12 {
+			d = 1e-12
 		}
-		if den < 1e-12 {
-			den = 1e-12
-		}
-		eq[k] = num / complex(den, 0)
-		invDenSum += 1 / den
+		// d is real, so equalization is a real reciprocal and scale —
+		// avoids the full complex-division algorithm in the hot loop.
+		inv := 1 / d
+		eq[k] = complex(real(eq[k])*inv, imag(eq[k])*inv)
+		invDenSum += inv
 	}
 	// SC-FDMA de-precoding: IDFT scaled by √M inverts the transmitter's
 	// DFT/√M. The per-sample noise power afterwards is the mean of the
@@ -387,7 +413,9 @@ func (rx *Receiver) decodeBlock(r int) {
 		rx.res.BlockIterations[r] = rx.cfg.maxIter()
 		return
 	}
-	res := rx.decoders[r].Decode(s0, s1, s2, rx.checks[r])
+	dec := rx.decoders[r]
+	dec.PrecheckRaw = rx.rawCovered[r] // HARQ shares these decoders and re-enables it
+	res := dec.Decode(s0, s1, s2, rx.checks[r])
 	copy(rx.blocks[r], res.Bits)
 	rx.res.BlockOK[r] = res.OK
 	rx.res.BlockIterations[r] = res.Iterations

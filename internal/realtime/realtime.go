@@ -55,7 +55,13 @@ type Config struct {
 	// paper's parallel subtask execution, layered on top of the partitioned
 	// core map. ≤1 runs the stages serially with no pool.
 	PHYWorkers int
-	Seed       uint64
+	// PipelineDepth is the cross-subframe window per core: ≥2 lets stage N
+	// of subframe j run concurrently with stage N−1 of subframe j+1 (the
+	// paper's Fig. 5 precedence pipelining) through a phy.Pipeliner, with
+	// receivers for the in-flight window borrowed from the shared arena.
+	// ≤1 keeps the serial one-subframe-at-a-time loop.
+	PipelineDepth int
+	Seed          uint64
 	// Tracer, when non-nil, receives the run's event stream (arrivals,
 	// starts, per-stage phases, drops, finishes) with times in microseconds
 	// since the feeder epoch. The sink is wrapped with trace.Locked because
@@ -130,6 +136,19 @@ type prebuilt struct {
 	mcs int
 }
 
+// job is one released subframe on its way to a core.
+type job struct {
+	bs, idx int
+	release time.Time
+}
+
+// arenaGet is how workers borrow receivers; tests swap it to inject
+// acquisition failures and prove dropped subframes are recorded, not
+// silently skipped.
+var arenaGet = func(a *phy.Arena, cfg phy.Config) (*phy.Receiver, error) {
+	return a.Get(cfg)
+}
+
 // Run executes the live partitioned schedule: CoresPerBS worker goroutines
 // per basestation, each locked to an OS thread, fed every dilated
 // millisecond in the paper's round-robin core mapping.
@@ -174,10 +193,6 @@ func Run(cfg Config) (*Stats, error) {
 		_ = cfg.pool() // pool size is bounded by distinct MCS values
 	}
 
-	type job struct {
-		bs, idx int
-		release time.Time
-	}
 	nCores := cfg.Basestations * cfg.CoresPerBS
 	queues := make([]chan job, nCores)
 	for i := range queues {
@@ -208,6 +223,54 @@ func Run(cfg Config) (*Stats, error) {
 	arena := phy.NewArena()
 	arena.PublishTo(cfg.Obs)
 	var mu sync.Mutex
+
+	// account settles one processed subframe against its deadline — shared
+	// by the serial loop and the pipelined completion callback so both paths
+	// classify outcomes identically.
+	account := func(core, bs, idx int, release, start, done time.Time, res phy.Result, perr error) {
+		outcome := "ack"
+		procUS := done.Sub(start).Seconds() * 1e6
+		lateUS := 0.0
+		mu.Lock()
+		st.Subframes++
+		st.ProcUS = append(st.ProcUS, procUS)
+		deadline := release.Add(budget)
+		switch {
+		case perr != nil || !res.OK:
+			st.DecodeFail++
+			outcome = "decodefail"
+			if done.After(deadline) {
+				lateUS = done.Sub(deadline).Seconds() * 1e6
+				st.Missed++
+				st.LateUS = append(st.LateUS, lateUS)
+			}
+		case done.After(deadline):
+			lateUS = done.Sub(deadline).Seconds() * 1e6
+			st.Missed++
+			st.LateUS = append(st.LateUS, lateUS)
+			outcome = "late"
+		default:
+			st.Decoded++
+		}
+		mu.Unlock()
+		lo.processed(outcome, procUS, lateUS)
+		if tr != nil {
+			emit(done, core, bs, idx, trace.EvFinish, outcome)
+		}
+	}
+	// drop records a subframe that never got processing — the feeder found
+	// the core's queue full, or no receiver could be acquired for it.
+	drop := func(at time.Time, core, bs, idx int, why string) {
+		mu.Lock()
+		st.Subframes++
+		st.Dropped++
+		mu.Unlock()
+		lo.drop()
+		if tr != nil {
+			emit(at, core, bs, idx, trace.EvDrop, why)
+		}
+	}
+
 	var wg sync.WaitGroup
 	for core := 0; core < nCores; core++ {
 		core := core
@@ -222,10 +285,19 @@ func Run(cfg Config) (*Stats, error) {
 				pool = phy.NewPool(cfg.PHYWorkers)
 				defer pool.Close()
 			}
+			if cfg.PipelineDepth >= 2 {
+				runPipelined(cfg, core, bs, queues[core], pools[bs], mcsAt[bs],
+					arena, pool, tr, emit, lo, account, drop)
+				return
+			}
 			for j := range queues[core] {
 				pb := pools[bs][mcsAt[bs][j.idx]]
-				rx, err := arena.Get(phyConfig(pb.mcs, cfg.Antennas))
+				rx, err := arenaGet(arena, phyConfig(pb.mcs, cfg.Antennas))
 				if err != nil {
+					// A subframe that cannot get a receiver is enforcement,
+					// not silence: it counts, it drops, and it traces, so
+					// the schedule's miss accounting stays truthful.
+					drop(time.Now(), core, bs, j.idx, "rx-unavailable")
 					continue
 				}
 				start := time.Now()
@@ -255,36 +327,8 @@ func Run(cfg Config) (*Stats, error) {
 					res = rx.Result()
 				}
 				done := time.Now()
-				outcome := "ack"
-				procUS := done.Sub(start).Seconds() * 1e6
-				lateUS := 0.0
-				mu.Lock()
-				st.Subframes++
-				st.ProcUS = append(st.ProcUS, procUS)
-				deadline := j.release.Add(budget)
-				switch {
-				case err != nil || !res.OK:
-					st.DecodeFail++
-					outcome = "decodefail"
-					if done.After(deadline) {
-						lateUS = done.Sub(deadline).Seconds() * 1e6
-						st.Missed++
-						st.LateUS = append(st.LateUS, lateUS)
-					}
-				case done.After(deadline):
-					lateUS = done.Sub(deadline).Seconds() * 1e6
-					st.Missed++
-					st.LateUS = append(st.LateUS, lateUS)
-					outcome = "late"
-				default:
-					st.Decoded++
-				}
-				mu.Unlock()
+				account(core, bs, j.idx, j.release, start, done, res, err)
 				arena.Put(rx) // res (aliasing rx's scratch) is fully consumed
-				lo.processed(outcome, procUS, lateUS)
-				if tr != nil {
-					emit(done, core, bs, j.idx, trace.EvFinish, outcome)
-				}
 			}
 		}()
 	}
@@ -307,14 +351,7 @@ func Run(cfg Config) (*Stats, error) {
 			default:
 				// Core's queue full: the previous subframe overran its
 				// whole window — a drop, as in the paper's enforcement.
-				mu.Lock()
-				st.Subframes++
-				st.Dropped++
-				mu.Unlock()
-				lo.drop()
-				if tr != nil {
-					emit(release, core, bs, j, trace.EvDrop, "queue-full")
-				}
+				drop(release, core, bs, j, "queue-full")
 			}
 		}
 	}
@@ -324,6 +361,93 @@ func Run(cfg Config) (*Stats, error) {
 	}
 	wg.Wait()
 	return st, nil
+}
+
+// runPipelined is one core's job loop with a cross-subframe window: up to
+// cfg.PipelineDepth subframes of this core are in flight at once through a
+// phy.Pipeliner, so stage N of one subframe overlaps stage N−1 of the next
+// (the paper's Fig. 5 precedence pipelining) instead of serializing whole
+// subframes. Outcome accounting flows through the same account/drop paths
+// as the serial loop.
+func runPipelined(cfg Config, core, bs int, queue chan job, pbs []prebuilt, mcsIdx []int,
+	arena *phy.Arena, ppool *phy.Pool, tr trace.Tracer,
+	emit func(at time.Time, core, bs, sf int, kind trace.Kind, detail string),
+	lo *liveObs,
+	account func(core, bs, idx int, release, start, done time.Time, res phy.Result, perr error),
+	drop func(at time.Time, core, bs, idx int, why string)) {
+
+	// In-flight bookkeeping: the pipeliner reports completions by tag (the
+	// subframe index, unique per core) on its own goroutines.
+	type flight struct {
+		idx     int
+		release time.Time
+		start   time.Time
+	}
+	var pmu sync.Mutex
+	fl := make(map[uint64]*flight)
+	pl, err := phy.NewPipeliner(phy.PipelinerConfig{
+		Arena: arena,
+		Pool:  ppool,
+		Depth: cfg.PipelineDepth,
+		OnStart: func(tag uint64) {
+			now := time.Now()
+			pmu.Lock()
+			f := fl[tag]
+			f.start = now
+			idx := f.idx
+			pmu.Unlock()
+			if tr != nil {
+				emit(now, core, bs, idx, trace.EvStart, "")
+			}
+		},
+		OnStage: func(tag uint64, stage phy.TaskName, elapsed time.Duration) {
+			if tr != nil {
+				pmu.Lock()
+				idx := fl[tag].idx
+				pmu.Unlock()
+				// The hook fires at stage completion; date the phase event
+				// back to the stage's start like the serial path does.
+				emit(time.Now().Add(-elapsed), core, bs, idx, trace.EvPhase, string(stage))
+			}
+			lo.stage(stage, elapsed.Seconds()*1e6)
+		},
+		OnDone: func(tag uint64, res phy.Result, perr error) {
+			done := time.Now()
+			pmu.Lock()
+			f := fl[tag]
+			delete(fl, tag)
+			pmu.Unlock()
+			if perr != nil {
+				// No receiver for this subframe: same enforcement as the
+				// serial path — recorded, never silently skipped.
+				drop(done, core, bs, f.idx, "rx-unavailable")
+				return
+			}
+			account(core, bs, f.idx, f.release, f.start, done, res, perr)
+		},
+	})
+	if err != nil {
+		// Only reachable with a nil arena; drain the queue as drops so the
+		// run still terminates with honest accounting.
+		for j := range queue {
+			drop(time.Now(), core, bs, j.idx, "pipeline-unavailable")
+		}
+		return
+	}
+	for j := range queue {
+		pb := pbs[mcsIdx[j.idx]]
+		tag := uint64(j.idx)
+		pmu.Lock()
+		fl[tag] = &flight{idx: j.idx, release: j.release}
+		pmu.Unlock()
+		if err := pl.Submit(tag, phyConfig(pb.mcs, cfg.Antennas), pb.iq, pb.n0); err != nil {
+			pmu.Lock()
+			delete(fl, tag)
+			pmu.Unlock()
+			drop(time.Now(), core, bs, j.idx, "rx-unavailable")
+		}
+	}
+	pl.Close()
 }
 
 func phyConfig(mcs, antennas int) phy.Config {

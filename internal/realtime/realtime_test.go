@@ -1,9 +1,11 @@
 package realtime
 
 import (
+	"errors"
 	"testing"
 
 	"rtopex/internal/obs"
+	"rtopex/internal/phy"
 	"rtopex/internal/trace"
 )
 
@@ -175,6 +177,109 @@ func TestLiveRunObserved(t *testing.T) {
 	}
 	if h.Count() > 0 && h.Quantile(0.5) <= 0 {
 		t.Fatal("median processing time should be positive")
+	}
+}
+
+// TestArenaFailureIsRecordedDrop is the regression for the silently-skipped
+// subframe: when no receiver can be acquired, the subframe must still be
+// counted, recorded as a drop, traced as EvDrop, and mirrored into the live
+// registry — pre-fix code `continue`d and the subframe vanished from every
+// ledger.
+func TestArenaFailureIsRecordedDrop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live run is wall-clock bound")
+	}
+	orig := arenaGet
+	arenaGet = func(a *phy.Arena, cfg phy.Config) (*phy.Receiver, error) {
+		return nil, errors.New("injected: receiver unavailable")
+	}
+	defer func() { arenaGet = orig }()
+
+	ring := trace.NewRing(0)
+	reg := obs.NewRegistry()
+	const n = 5
+	st, err := Run(Config{
+		Basestations: 1,
+		CoresPerBS:   2,
+		Subframes:    n,
+		Antennas:     1,
+		SNRdB:        30,
+		MCS:          0,
+		Dilation:     20,
+		Seed:         5,
+		Tracer:       ring,
+		Obs:          reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Subframes != n {
+		t.Fatalf("accounted %d subframes, want %d (drops must still count)", st.Subframes, n)
+	}
+	if st.Dropped != n {
+		t.Fatalf("dropped %d, want all %d", st.Dropped, n)
+	}
+	if st.Decoded != 0 || st.Missed != 0 || st.DecodeFail != 0 {
+		t.Fatalf("unexpected outcomes: %+v", *st)
+	}
+	drops := 0
+	for _, e := range ring.Events() {
+		if e.Event == trace.EvDrop {
+			drops++
+			if e.Detail != "rx-unavailable" {
+				t.Fatalf("drop detail %q, want rx-unavailable", e.Detail)
+			}
+		}
+	}
+	if drops != n {
+		t.Fatalf("%d EvDrop events, want %d", drops, n)
+	}
+	if got := reg.Counter("rtopex_live_dropped_total").Value(); got != n {
+		t.Fatalf("live dropped counter = %d, want %d", got, n)
+	}
+}
+
+// TestLiveRunPipelined runs the cross-subframe window end to end: with
+// PipelineDepth 2 every subframe must still be accounted exactly once and
+// decode as in the serial mode.
+func TestLiveRunPipelined(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live run is wall-clock bound")
+	}
+	ring := trace.NewRing(0)
+	const n = 8
+	st, err := Run(Config{
+		Basestations:  1,
+		CoresPerBS:    2,
+		Subframes:     n,
+		Antennas:      1,
+		SNRdB:         30,
+		MCS:           0,
+		Dilation:      30,
+		Seed:          6,
+		PipelineDepth: 2,
+		Tracer:        ring,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Subframes != n {
+		t.Fatalf("accounted %d subframes, want %d", st.Subframes, n)
+	}
+	if st.Decoded == 0 {
+		t.Fatal("nothing decoded in pipelined mode")
+	}
+	counts := map[trace.Kind]int{}
+	for _, e := range ring.Events() {
+		counts[e.Event]++
+	}
+	processed := st.Subframes - st.Dropped
+	if counts[trace.EvStart] != processed || counts[trace.EvFinish] != processed {
+		t.Fatalf("start=%d finish=%d for %d processed subframes",
+			counts[trace.EvStart], counts[trace.EvFinish], processed)
+	}
+	if counts[trace.EvPhase] != 4*processed {
+		t.Fatalf("%d phase events for %d processed subframes", counts[trace.EvPhase], processed)
 	}
 }
 

@@ -8,6 +8,36 @@ import "fmt"
 
 const negInf = -1e30
 
+// Path selects the arithmetic the iterative decoder runs on.
+type Path uint8
+
+const (
+	// PathQuantized (the zero value, so the default) is the int16
+	// fixed-point max-log-MAP path: input LLRs are quantized to the
+	// modulation package's Q9.6 format at the Decode boundary and the
+	// constituent recursions run on saturating int16 metrics — the standard
+	// SIMD-decoder layout, and considerably faster than float64 on the hot
+	// path. See quant.go for the metric conventions.
+	PathQuantized Path = iota
+	// PathFloat64 forces the float64 reference path — the oracle the
+	// quantized path is property-tested against.
+	PathFloat64
+)
+
+func (p Path) String() string {
+	switch p {
+	case PathQuantized:
+		return "quantized"
+	case PathFloat64:
+		return "float64"
+	default:
+		return fmt.Sprintf("Path(%d)", uint8(p))
+	}
+}
+
+// Valid reports whether p names an implemented decode path.
+func (p Path) Valid() bool { return p == PathQuantized || p == PathFloat64 }
+
 // Decoder is an iterative max-log-MAP turbo decoder for one block size K.
 // A Decoder holds scratch buffers and is not safe for concurrent use; the
 // PHY chain allocates one per worker.
@@ -19,7 +49,20 @@ type Decoder struct {
 	// default 4; each full iteration runs both constituent decoders).
 	MaxIterations int
 
-	// scratch
+	// Path selects the decode arithmetic: the int16 quantized fast path
+	// (default) or the float64 reference oracle. Both consume the same
+	// float64 soft streams; quantization happens inside Decode.
+	Path Path
+
+	// PrecheckRaw enables the iteration-0 check of the raw systematic hard
+	// decisions before any constituent pass (default on). It is always
+	// correct — it accepts only on a passing check — but is a wasted O(K)
+	// sweep when rate-matching punctured systematic positions that only
+	// iterations can recover; receivers disable it per block via
+	// RateMatcher.CoversSystematic.
+	PrecheckRaw bool
+
+	// scratch (float64 path)
 	sysI   []float64 // interleaved systematic LLRs
 	la     []float64 // a-priori for decoder 1
 	la2    []float64 // a-priori for decoder 2
@@ -30,6 +73,18 @@ type Decoder struct {
 	gamma1 []float64
 	total  []float64
 	hard   []byte
+
+	// scratch (quantized path; see quant.go for the Q-format conventions)
+	q0, q1, q2 []int16 // quantized input streams, K+4 each
+	qsysI      []int16 // interleaved quantized systematic LLRs
+	qla        []int16 // a-priori for decoder 1
+	qla2       []int16 // a-priori for decoder 2
+	qle        []int16 // extrinsic out
+	qle1       []int16 // decoder 1 extrinsic, kept for the final total
+	qalpha     []int16 // (K+1) × numStates forward metrics
+	qg0        []int16 // per-step systematic+a-priori metric (lsys+la)
+	qg1        []int16 // per-step parity metric
+	qhardI     []byte  // decoder-2 hard decisions, interleaved domain
 }
 
 // NewDecoder builds a decoder for block size k.
@@ -42,6 +97,7 @@ func NewDecoder(k int) (*Decoder, error) {
 		K:             k,
 		il:            il,
 		MaxIterations: 4,
+		PrecheckRaw:   true,
 		sysI:          make([]float64, k),
 		la:            make([]float64, k),
 		la2:           make([]float64, k),
@@ -52,13 +108,25 @@ func NewDecoder(k int) (*Decoder, error) {
 		gamma1:        make([]float64, k),
 		total:         make([]float64, k),
 		hard:          make([]byte, k),
+		q0:            make([]int16, k+4),
+		q1:            make([]int16, k+4),
+		q2:            make([]int16, k+4),
+		qsysI:         make([]int16, k),
+		qla:           make([]int16, k),
+		qla2:          make([]int16, k),
+		qle:           make([]int16, k),
+		qle1:          make([]int16, k),
+		qalpha:        make([]int16, (k+1)*numStates),
+		qg0:           make([]int16, k),
+		qg1:           make([]int16, k),
+		qhardI:        make([]byte, k),
 	}, nil
 }
 
 // Result reports the outcome of a Decode call.
 type Result struct {
 	Bits       []byte // K hard-decision bits (aliases decoder scratch; copy to retain)
-	Iterations int    // full iterations executed (1..MaxIterations)
+	Iterations int    // full iterations executed (0..MaxIterations; 0 ⇒ raw hard decisions passed check)
 	OK         bool   // check function accepted the bits
 }
 
@@ -67,15 +135,43 @@ type Result struct {
 // hard decisions after each constituent pass (every half-iteration) and
 // decoding stops early when it returns true — the LTE receiver uses the
 // code-block CRC here, and the returned iteration count (rounded up to full
-// iterations) is the paper's L. At high SNR the first decoder's output is
-// already CRC-clean, so the half-iteration check saves the entire second
-// constituent pass. Decode does not allocate: all intermediate state lives
-// in the Decoder's scratch buffers.
+// iterations) is the paper's L. Before the first constituent pass, the raw
+// systematic hard decisions are checked directly (Iterations 0 on success):
+// at high SNR the uncoded decisions are already CRC-clean and the trellis
+// never has to run, which is where most subframes land in a healthy cell.
+// Decode does not allocate: all intermediate state lives in the Decoder's
+// scratch buffers.
+//
+// The arithmetic is selected by d.Path: the int16 quantized fast path
+// (default) or the float64 reference. Both take the same float64 streams.
 func (d *Decoder) Decode(s0, s1, s2 []float64, check func([]byte) bool) Result {
 	k := d.K
 	if len(s0) != k+4 || len(s1) != k+4 || len(s2) != k+4 {
 		panic(fmt.Sprintf("turbo: stream lengths (%d,%d,%d), want %d", len(s0), len(s1), len(s2), k+4))
 	}
+	if check != nil && d.PrecheckRaw {
+		hard := d.hard
+		for i, v := range s0[:k] {
+			if v < 0 {
+				hard[i] = 1
+			} else {
+				hard[i] = 0
+			}
+		}
+		if check(hard) {
+			return Result{Bits: hard, Iterations: 0, OK: true}
+		}
+	}
+	if d.Path == PathFloat64 {
+		return d.decodeFloat(s0, s1, s2, check)
+	}
+	return d.decodeQuant(s0, s1, s2, check)
+}
+
+// decodeFloat is the float64 reference pipeline — the oracle the quantized
+// path is tested against.
+func (d *Decoder) decodeFloat(s0, s1, s2 []float64, check func([]byte) bool) Result {
+	k := d.K
 	sys := s0[:k]
 	par1 := s1[:k]
 	par2 := s2[:k]

@@ -138,6 +138,20 @@ func (il *Interleaver) Permute(in, out []byte) []byte {
 	return out
 }
 
+// Inverse applies the inverse permutation to bits: out[Π(i)] = in[i].
+func (il *Interleaver) Inverse(in, out []byte) []byte {
+	if len(in) != il.K {
+		panic(fmt.Sprintf("turbo: interleaver input length %d, want %d", len(in), il.K))
+	}
+	if len(out) != il.K {
+		out = make([]byte, il.K)
+	}
+	for i, p := range il.inv {
+		out[i] = in[p]
+	}
+	return out
+}
+
 // PermuteF is Permute for float64 soft values.
 func (il *Interleaver) PermuteF(in, out []float64) []float64 {
 	if len(in) != il.K {
@@ -147,6 +161,34 @@ func (il *Interleaver) PermuteF(in, out []float64) []float64 {
 		out = make([]float64, il.K)
 	}
 	for i, p := range il.perm {
+		out[i] = in[p]
+	}
+	return out
+}
+
+// PermuteI16 is Permute for quantized int16 soft values.
+func (il *Interleaver) PermuteI16(in, out []int16) []int16 {
+	if len(in) != il.K {
+		panic(fmt.Sprintf("turbo: interleaver input length %d, want %d", len(in), il.K))
+	}
+	if len(out) != il.K {
+		out = make([]int16, il.K)
+	}
+	for i, p := range il.perm {
+		out[i] = in[p]
+	}
+	return out
+}
+
+// InverseI16 applies the inverse permutation to quantized int16 soft values.
+func (il *Interleaver) InverseI16(in, out []int16) []int16 {
+	if len(in) != il.K {
+		panic(fmt.Sprintf("turbo: interleaver input length %d, want %d", len(in), il.K))
+	}
+	if len(out) != il.K {
+		out = make([]int16, il.K)
+	}
+	for i, p := range il.inv {
 		out[i] = in[p]
 	}
 	return out

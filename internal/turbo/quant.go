@@ -1,0 +1,337 @@
+package turbo
+
+import "rtopex/internal/modulation"
+
+// Quantized max-log-MAP path.
+//
+// Input LLRs are quantized once, at the Decode boundary, to the Q9.6 format
+// fixed in internal/modulation (LLRQScale = 64, rail ±LLRQMax = ±8191).
+// Extrinsics are clamped back to the same rail after every constituent pass,
+// so every soft quantity the decoder circulates — systematic, parity,
+// a-priori, extrinsic — honours one invariant: |value| ≤ LLRQMax.
+//
+// Metric conventions, chosen so everything provably fits the integer widths:
+//
+//   - Branch metrics are DOUBLED relative to the float64 path: a branch with
+//     symbols (u, z) contributes ±gs ± gp with gs = lsys+la and gp = lpar,
+//     not ½ of that. Doubling every path metric by the same factor leaves
+//     every max decision unchanged and drops the halving from the hot loop;
+//     the a-posteriori LLR is recovered as (m0−m1)>>1. With the rail
+//     invariant, |gs| ≤ 2·LLRQMax and |c| = |±gs±gp| ≤ 3·LLRQMax = 24573 —
+//     comfortably int16, and int32 accumulators never come near overflow.
+//
+//   - State metrics are renormalized every trellis step by subtracting the
+//     running row maximum (the standard SIMD-decoder layout), then saturated
+//     at qFloor. The winning state sits at exactly 0, so stored rows live in
+//     [qFloor, 0] and fit int16. Saturating the floor is harmless: a state
+//     whose metric trails the winner by 32767 (512 LLR units) never competes.
+//
+//   - Unreachable states exist only near the trellis edges. The forward
+//     recursion starts from state 0 and reaches all 8 states after 3 steps;
+//     the backward recursion is seeded through the termination tail, from
+//     which every step-K state reaches state 0, so beta is finite
+//     everywhere. Guards therefore run only in a 3-step forward prologue and
+//     a 3-step LLR epilogue (cold, table-driven); the hot loops are entirely
+//     guard-free. Stored sentinel is qSent = -32768 — distinguishable from
+//     real metrics, which saturate at qFloor = -32767 — and the prologue
+//     computes in int32 with qSentI32 = −2²⁸ so sentinels cannot creep back
+//     into contention through additions (|c| ≤ 24573 ≪ 2²⁸).
+const (
+	// qSent marks an unreachable state in stored int16 alpha rows. It is
+	// int16 minimum, one below the qFloor saturation rail, so a stored
+	// value equals qSent if and only if the state was unreachable.
+	qSent = -32768
+	// qFloor is the saturation floor for normalized state metrics.
+	qFloor int32 = -32767
+	// qSentI32 is the in-register sentinel for the guarded edge passes.
+	// Large enough in magnitude that sentinel+branch never beats a genuine
+	// path, small enough that int32 sums cannot wrap.
+	qSentI32 int32 = -1 << 28
+)
+
+// demuxTailsI16 mirrors demuxTails for the quantized streams.
+func demuxTailsI16(s0, s1, s2 []int16, k int) (x1, z1, x2, z2 [3]int16) {
+	x1 = [3]int16{s0[k], s2[k], s1[k+1]}
+	z1 = [3]int16{s1[k], s0[k+1], s2[k+1]}
+	x2 = [3]int16{s0[k+2], s2[k+2], s1[k+3]}
+	z2 = [3]int16{s1[k+2], s0[k+3], s2[k+3]}
+	return
+}
+
+// decodeQuant is the int16 iteration pipeline. It mirrors decodeFloat
+// half-iteration for half-iteration; only the constituent arithmetic and the
+// buffer types differ.
+func (d *Decoder) decodeQuant(s0, s1, s2 []float64, check func([]byte) bool) Result {
+	k := d.K
+	modulation.QuantizeLLRsInto(d.q0, s0)
+	modulation.QuantizeLLRsInto(d.q1, s1)
+	modulation.QuantizeLLRsInto(d.q2, s2)
+	sys := d.q0[:k]
+	par1 := d.q1[:k]
+	par2 := d.q2[:k]
+	x1, z1, x2, z2 := demuxTailsI16(d.q0, d.q1, d.q2, k)
+	d.il.PermuteI16(sys, d.qsysI)
+	clear(d.qla)
+
+	// Hard decisions fall out of the constituent passes for free: the
+	// backward loop already computes the unclamped a-posteriori m0−m1 per
+	// bit, so each pass writes sign bits as it goes (decoder 2's in the
+	// interleaved domain, deinterleaved before the CRC). When check is nil
+	// only the final pass needs decisions.
+	var hard1, hard2 []byte
+	if check != nil {
+		hard1, hard2 = d.hard, d.qhardI
+	}
+	res := Result{Bits: d.hard}
+	for it := 1; it <= d.MaxIterations; it++ {
+		res.Iterations = it
+		if check == nil && it == d.MaxIterations {
+			hard2 = d.qhardI
+		}
+		d.constituentQ(sys, par1, d.qla, x1, z1, d.qle1, hard1)
+		if check != nil && check(d.hard) {
+			res.OK = true
+			return res
+		}
+		d.il.PermuteI16(d.qle1, d.qla2)
+		d.constituentQ(d.qsysI, par2, d.qla2, x2, z2, d.qle, hard2)
+		d.il.InverseI16(d.qle, d.qla)
+
+		if check != nil {
+			d.il.Inverse(d.qhardI, d.hard)
+			if check(d.hard) {
+				res.OK = true
+				return res
+			}
+		}
+	}
+	if check == nil {
+		d.il.Inverse(d.qhardI, d.hard)
+		res.OK = true
+	}
+	return res
+}
+
+// constituentQ is one fixed-point max-log-MAP pass: the int16 counterpart of
+// constituent, with doubled branch metrics and per-step renormalization as
+// described in the header comment. The state wiring in the unrolled loops is
+// identical to the float64 path's (and so covered by TestConstituentWiring);
+// the table-driven prologue/epilogue are cross-checked against the unrolled
+// wiring by the quantized tests.
+//
+// When hard is non-nil it receives this pass's hard decisions, in this
+// pass's bit order: hard[i] is the sign bit of the unclamped a-posteriori
+// m0−m1, taken before the extrinsic is clamped to the rail — the true
+// max-log decision, at zero extra cost.
+func (d *Decoder) constituentQ(lsys, lpar, la []int16, xTail, zTail [3]int16, le []int16, hard []byte) {
+	k := d.K
+	alpha := d.qalpha
+
+	// Per-step metric halves: qg0 = lsys+la (systematic+a-priori), qg1 =
+	// parity. Both int16-exact under the rail invariant.
+	qg0, qg1 := d.qg0, d.qg1
+	for i := 0; i < k; i++ {
+		qg0[i] = lsys[i] + la[i]
+		qg1[i] = lpar[i]
+	}
+
+	// Forward prologue: steps 0..2 still have unreachable states, handled
+	// in int32 with explicit sentinels, table-driven (cold path).
+	var av [numStates]int32
+	av[0] = 0
+	alpha[0] = 0
+	for s := 1; s < numStates; s++ {
+		av[s] = qSentI32
+		alpha[s] = qSent
+	}
+	pro := 3
+	if k < pro {
+		pro = k
+	}
+	for i := 0; i < pro; i++ {
+		gs, gp := int32(qg0[i]), int32(qg1[i])
+		c := [4]int32{gs + gp, gs - gp, -gs + gp, -gs - gp} // indexed 2u+z
+		var nv [numStates]int32
+		for s := range nv {
+			nv[s] = qSentI32
+		}
+		for s := 0; s < numStates; s++ {
+			if av[s] <= qSentI32 {
+				continue
+			}
+			for u := byte(0); u < 2; u++ {
+				ns := nextState[s][u]
+				if v := av[s] + c[2*u+parityBit[s][u]]; v > nv[ns] {
+					nv[ns] = v
+				}
+			}
+		}
+		m := nv[0]
+		for s := 1; s < numStates; s++ {
+			m = max(m, nv[s])
+		}
+		next := (*[numStates]int16)(alpha[(i+1)*numStates:])
+		for s := 0; s < numStates; s++ {
+			if nv[s] <= qSentI32 {
+				av[s] = qSentI32
+				next[s] = qSent
+			} else {
+				av[s] = max(nv[s]-m, qFloor)
+				next[s] = int16(av[s])
+			}
+		}
+	}
+
+	// Forward main loop: every state reachable, no guards. Metrics live in
+	// int32 registers — the row computed at step i is both stored (int16,
+	// for the backward pass) and carried directly into step i+1, so the hot
+	// loop never reloads alpha. Rows are renormalized against the running
+	// max and saturated at qFloor before the store.
+	{
+		b0, b1, b2, b3 := av[0], av[1], av[2], av[3]
+		b4, b5, b6, b7 := av[4], av[5], av[6], av[7]
+		for i := pro; i < k; i++ {
+			next := (*[numStates]int16)(alpha[(i+1)*numStates:])
+			gs, gp := int32(qg0[i]), int32(qg1[i])
+			c0 := gs + gp // u=0, z=0
+			c1 := gs - gp // u=0, z=1
+			c2 := -c1     // u=1, z=0
+			c3 := -c0     // u=1, z=1
+
+			n0 := max(b0+c0, b4+c3)
+			n1 := max(b0+c3, b4+c0)
+			n2 := max(b1+c1, b5+c2)
+			n3 := max(b1+c2, b5+c1)
+			n4 := max(b2+c2, b6+c1)
+			n5 := max(b2+c1, b6+c2)
+			n6 := max(b3+c3, b7+c0)
+			n7 := max(b3+c0, b7+c3)
+
+			m := max(max(max(n0, n1), max(n2, n3)), max(max(n4, n5), max(n6, n7)))
+			b0 = max(n0-m, qFloor)
+			b1 = max(n1-m, qFloor)
+			b2 = max(n2-m, qFloor)
+			b3 = max(n3-m, qFloor)
+			b4 = max(n4-m, qFloor)
+			b5 = max(n5-m, qFloor)
+			b6 = max(n6-m, qFloor)
+			b7 = max(n7-m, qFloor)
+			next[0], next[1], next[2], next[3] = int16(b0), int16(b1), int16(b2), int16(b3)
+			next[4], next[5], next[6], next[7] = int16(b4), int16(b5), int16(b6), int16(b7)
+		}
+	}
+
+	// Tail: beta[K] by backward recursion over the three forced termination
+	// steps from state 0 at virtual step K+3. Doubled metrics, guarded.
+	var tb [numStates]int32
+	for s := range tb {
+		tb[s] = qSentI32
+	}
+	tb[0] = 0
+	for t := 2; t >= 0; t-- {
+		gs, gp := int32(xTail[t]), int32(zTail[t])
+		var nb [numStates]int32
+		for s := 0; s < numStates; s++ {
+			u := feedback[s]
+			ns := nextState[s][u]
+			if tb[ns] <= qSentI32 {
+				nb[s] = qSentI32
+				continue
+			}
+			m := gs
+			if u == 1 {
+				m = -gs
+			}
+			if parityBit[s][u] == 1 {
+				m -= gp
+			} else {
+				m += gp
+			}
+			nb[s] = tb[ns] + m
+		}
+		tb = nb
+	}
+
+	// Backward recursion fused with LLR extraction, mirroring the float64
+	// path. After the termination tail every state is reachable, so beta
+	// needs no guards anywhere; only the alpha reads at i < 3 do, and those
+	// drop to the table-driven epilogue.
+	//
+	// Beta lives in int32 registers and is never stored, so unlike alpha it
+	// needs no per-row renormalization: each step moves the row by at most
+	// max|c| ≤ 3·LLRQMax ≈ 24.6k, so over K ≤ 6144 steps the absolute drift
+	// stays under 1.6e8 — far inside int32 — and every m0/m1 sum below is a
+	// row-relative difference where the drift cancels exactly.
+	b0, b1, b2, b3 := tb[0], tb[1], tb[2], tb[3]
+	b4, b5, b6, b7 := tb[4], tb[5], tb[6], tb[7]
+	for i := k - 1; i >= 0; i-- {
+		curA := (*[numStates]int16)(alpha[i*numStates:])
+		gs, gp := int32(qg0[i]), int32(qg1[i])
+		c0 := gs + gp
+		c1 := gs - gp
+		c2 := -c1
+		c3 := -c0
+
+		var m0, m1 int32
+		if i >= pro {
+			a0, a1, a2, a3 := int32(curA[0]), int32(curA[1]), int32(curA[2]), int32(curA[3])
+			a4, a5, a6, a7 := int32(curA[4]), int32(curA[5]), int32(curA[6]), int32(curA[7])
+
+			m0 = a0 + c0 + b0
+			m0 = max(m0, a1+c1+b2)
+			m0 = max(m0, a2+c1+b5)
+			m0 = max(m0, a3+c0+b7)
+			m0 = max(m0, a4+c0+b1)
+			m0 = max(m0, a5+c1+b3)
+			m0 = max(m0, a6+c1+b4)
+			m0 = max(m0, a7+c0+b6)
+
+			m1 = a0 + c3 + b1
+			m1 = max(m1, a1+c2+b3)
+			m1 = max(m1, a2+c2+b4)
+			m1 = max(m1, a3+c3+b6)
+			m1 = max(m1, a4+c3+b0)
+			m1 = max(m1, a5+c2+b2)
+			m1 = max(m1, a6+c2+b5)
+			m1 = max(m1, a7+c3+b7)
+		} else {
+			// Epilogue: some alpha entries are sentinels; skip their
+			// branches, table-driven (cold path: at most 3 steps).
+			bv := [numStates]int32{b0, b1, b2, b3, b4, b5, b6, b7}
+			c := [4]int32{c0, c1, c2, c3}
+			m0, m1 = qSentI32, qSentI32
+			for s := 0; s < numStates; s++ {
+				if curA[s] == qSent {
+					continue
+				}
+				a := int32(curA[s])
+				if v := a + c[parityBit[s][0]] + bv[nextState[s][0]]; v > m0 {
+					m0 = v
+				}
+				if v := a + c[2+int(parityBit[s][1])] + bv[nextState[s][1]]; v > m1 {
+					m1 = v
+				}
+			}
+		}
+
+		// Doubled metrics halve back here; the shift's floor bias on odd
+		// differences is half a quantization step, below decision
+		// resolution. Clamping to the rail maintains the invariant that
+		// feeds the next pass's a-priori.
+		if hard != nil {
+			hard[i] = byte(uint32(m0-m1) >> 31)
+		}
+		le[i] = int16(min(max((m0-m1)>>1-gs, -modulation.LLRQMax), modulation.LLRQMax))
+
+		n0 := max(b0+c0, b1+c3)
+		n1 := max(b2+c1, b3+c2)
+		n2 := max(b5+c1, b4+c2)
+		n3 := max(b7+c0, b6+c3)
+		n4 := max(b1+c0, b0+c3)
+		n5 := max(b3+c1, b2+c2)
+		n6 := max(b4+c1, b5+c2)
+		n7 := max(b6+c0, b7+c3)
+		b0, b1, b2, b3 = n0, n1, n2, n3
+		b4, b5, b6, b7 = n4, n5, n6, n7
+	}
+}

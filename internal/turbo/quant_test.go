@@ -1,0 +1,209 @@
+package turbo
+
+import (
+	"math"
+	"testing"
+
+	"rtopex/internal/bits"
+	"rtopex/internal/stats"
+)
+
+// decodeWithPath runs one decode over the given soft streams with the chosen
+// arithmetic. check=nil forces the full iteration count on the trellis, so
+// the comparison exercises the recursions rather than the raw pre-check.
+func decodeWithPath(t *testing.T, k int, path Path, maxIter int, s [][]float64) []byte {
+	t.Helper()
+	dec, err := NewDecoder(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.Path = path
+	dec.MaxIterations = maxIter
+	res := dec.Decode(s[0], s[1], s[2], nil)
+	return append([]byte(nil), res.Bits...)
+}
+
+func noisyStreams(r *stats.RNG, streams [][]byte, snrDB float64) [][]float64 {
+	s := make([][]float64, 3)
+	for j := range streams {
+		s[j] = bpskLLR(r, streams[j], snrDB)
+	}
+	return s
+}
+
+// TestQuantMatchesFloatAtModerateSNR: across a K × SNR grid where the code
+// operates comfortably above the waterfall, the int16 path's hard decisions
+// must be bit-identical to the float64 oracle's (and both must recover the
+// transmitted block). Q9.6 keeps ~2 decimal digits of LLR precision, far
+// more than max-log-MAP needs when the channel is this clean.
+func TestQuantMatchesFloatAtModerateSNR(t *testing.T) {
+	r := stats.NewRNG(70)
+	for _, k := range []int{40, 512, 1056, 6144} {
+		for _, snr := range []float64{3, 5, 8} {
+			for trial := 0; trial < 2; trial++ {
+				in := randomBlock(r, k)
+				streams, _ := EncodeStreams(in)
+				s := noisyStreams(r, streams, snr)
+				q := decodeWithPath(t, k, PathQuantized, 4, s)
+				f := decodeWithPath(t, k, PathFloat64, 4, s)
+				if d := bits.HammingDistance(q, f); d != 0 {
+					t.Fatalf("K=%d SNR=%v trial %d: quant and float disagree in %d bits", k, snr, trial, d)
+				}
+				if bits.HammingDistance(q, in) != 0 {
+					t.Fatalf("K=%d SNR=%v trial %d: decode failed above the waterfall", k, snr, trial)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantFloatBLERDeltaBounded sweeps the waterfall region, where
+// quantization noise actually matters, and bounds both the block-error-rate
+// gap and the per-trial disagreement between the two arithmetics. The two
+// paths see identical noise realizations, so disagreements isolate the
+// quantization itself.
+func TestQuantFloatBLERDeltaBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("BLER sweep in -short mode")
+	}
+	r := stats.NewRNG(71)
+	const k = 512
+	const trials = 30
+	for _, snr := range []float64{-5.5, -4.5, -3.5} {
+		failQ, failF, disagree := 0, 0, 0
+		for trial := 0; trial < trials; trial++ {
+			in := randomBlock(r, k)
+			streams, _ := EncodeStreams(in)
+			s := noisyStreams(r, streams, snr)
+			q := decodeWithPath(t, k, PathQuantized, 8, s)
+			f := decodeWithPath(t, k, PathFloat64, 8, s)
+			qOK := bits.HammingDistance(q, in) == 0
+			fOK := bits.HammingDistance(f, in) == 0
+			if !qOK {
+				failQ++
+			}
+			if !fOK {
+				failF++
+			}
+			if qOK != fOK {
+				disagree++
+			}
+		}
+		blerGap := math.Abs(float64(failQ)-float64(failF)) / trials
+		if blerGap > 0.2 {
+			t.Fatalf("SNR=%v: BLER gap %.2f (quant %d/%d vs float %d/%d fails)",
+				snr, blerGap, failQ, trials, failF, trials)
+		}
+		if float64(disagree)/trials > 0.2 {
+			t.Fatalf("SNR=%v: paths disagree on %d/%d blocks", snr, disagree, trials)
+		}
+	}
+}
+
+// TestQuantDecodeSaturatedInputs: LLRs far beyond the ±LLRQMax rail — the
+// saturated-demapper regime, including ±Inf from a degenerate noise estimate —
+// must still decode noiseless codewords exactly. This is the saturation edge
+// of the Q-format: every branch metric sits at the rail and the doubled-metric
+// prologue arithmetic must not wrap.
+func TestQuantDecodeSaturatedInputs(t *testing.T) {
+	r := stats.NewRNG(72)
+	for _, k := range []int{40, 104, 512} {
+		in := randomBlock(r, k)
+		streams, _ := EncodeStreams(in)
+		for _, mag := range []float64{1e6, math.Inf(1)} {
+			s := make([][]float64, 3)
+			for j := range streams {
+				s[j] = make([]float64, len(streams[j]))
+				for i, b := range streams[j] {
+					s[j][i] = mag * (1 - 2*float64(b))
+				}
+			}
+			q := decodeWithPath(t, k, PathQuantized, 4, s)
+			if bits.HammingDistance(q, in) != 0 {
+				t.Fatalf("K=%d |LLR|=%v: quantized decode failed on railed inputs", k, mag)
+			}
+		}
+	}
+}
+
+// TestQuantSentinelPuncturedHead attacks the unreachable-state sentinels: in
+// the first trellis steps most states carry the "impossible" marker, and a
+// punctured (all-zero LLR) head combined with railed values right after it is
+// the adversarial input for the guarded prologue. The quantized path must
+// agree with the float oracle bit for bit and still recover the block.
+func TestQuantSentinelPuncturedHead(t *testing.T) {
+	r := stats.NewRNG(73)
+	for _, k := range []int{40, 48, 64} {
+		in := randomBlock(r, k)
+		streams, _ := EncodeStreams(in)
+		s := make([][]float64, 3)
+		for j := range streams {
+			s[j] = make([]float64, len(streams[j]))
+			for i, b := range streams[j] {
+				switch {
+				case i < 6:
+					s[j][i] = 0 // punctured head: sentinel states meet zero metrics
+				case i < 12:
+					s[j][i] = 1e5 * (1 - 2*float64(b)) // railed right after
+				default:
+					s[j][i] = 8 * (1 - 2*float64(b))
+				}
+			}
+		}
+		q := decodeWithPath(t, k, PathQuantized, 4, s)
+		f := decodeWithPath(t, k, PathFloat64, 4, s)
+		if d := bits.HammingDistance(q, f); d != 0 {
+			t.Fatalf("K=%d: quant and float disagree in %d bits on punctured head", k, d)
+		}
+		if bits.HammingDistance(q, in) != 0 {
+			t.Fatalf("K=%d: decode failed with punctured head", k)
+		}
+	}
+}
+
+// TestQuantEarlyTerminationParity: with a CRC-style check, both paths must
+// terminate early on the same clean block and report OK.
+func TestQuantEarlyTerminationParity(t *testing.T) {
+	r := stats.NewRNG(74)
+	const k = 512
+	in := randomBlock(r, k)
+	streams, _ := EncodeStreams(in)
+	s := noisyStreams(r, streams, 8)
+	want := append([]byte(nil), in...)
+	check := func(b []byte) bool { return bits.HammingDistance(b, want) == 0 }
+	for _, path := range []Path{PathQuantized, PathFloat64} {
+		dec, _ := NewDecoder(k)
+		dec.Path = path
+		dec.PrecheckRaw = false // force at least one constituent pass
+		dec.MaxIterations = 8
+		res := dec.Decode(s[0], s[1], s[2], check)
+		if !res.OK {
+			t.Fatalf("%v: check never passed at 8 dB", path)
+		}
+		if res.Iterations >= 8 {
+			t.Fatalf("%v: no early termination (%d iterations)", path, res.Iterations)
+		}
+	}
+}
+
+// TestDecodeFloatAllocFree mirrors TestDecodeAllocFree for the reference
+// path: forcing Path=PathFloat64 must also run allocation-free.
+func TestDecodeFloatAllocFree(t *testing.T) {
+	const k = 1056
+	d, err := NewDecoder(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Path = PathFloat64
+	r := stats.NewRNG(75)
+	s0 := randLLRs(r, k+4, 0)
+	s1 := randLLRs(r, k+4, 1)
+	s2 := randLLRs(r, k+4, 2)
+	d.Decode(s0, s1, s2, nil) // warm up
+	allocs := testing.AllocsPerRun(5, func() {
+		d.Decode(s0, s1, s2, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("float64 Decode allocates %.1f objects per call, want 0", allocs)
+	}
+}

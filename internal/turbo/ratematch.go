@@ -121,6 +121,41 @@ func (rm *RateMatcher) Match(streams [][]byte, e, rv int) ([]byte, error) {
 	return out, nil
 }
 
+// CoversSystematic reports whether bit selection at (e, rv) observes every
+// systematic information position (stream-0 indices below K). When it does
+// not — e.g. rv 0 starts the circular buffer 2R positions in, puncturing the
+// first ~2R systematic bits at high code rates — raw hard decisions can
+// never pass a CRC and the decoder's iteration-0 pre-check is futile; the
+// receiver uses this to decide whether to enable it. O(Ncb); call at setup,
+// not per subframe.
+func (rm *RateMatcher) CoversSystematic(e, rv int) bool {
+	if e <= 0 {
+		return false
+	}
+	seen := make([]bool, rm.K)
+	covered := 0
+	pos := rm.k0(rv) % rm.Ncb
+	for i := 0; i < e; {
+		if s := rm.wStream[pos]; s >= 0 {
+			if s == 0 {
+				if idx := int(rm.wIndex[pos]); idx < rm.K && !seen[idx] {
+					seen[idx] = true
+					covered++
+					if covered == rm.K {
+						return true
+					}
+				}
+			}
+			i++
+		}
+		pos++
+		if pos == rm.Ncb {
+			pos = 0
+		}
+	}
+	return false
+}
+
 // Dematch distributes e received LLRs back into per-stream soft values,
 // soft-combining repeated positions by addition. Unobserved (punctured)
 // positions are zero. The returned slices have length K+4 each.

@@ -1,13 +1,20 @@
 #!/bin/sh
-# phy-speedup: smoke-check that the parallel PHY fast path pays off.
+# phy-speedup: smoke-check that the PHY fast paths actually pay off.
 #
-# On multicore machines the end-to-end parallel benchmark at 8 workers must
-# beat the same benchmark at 1 worker by >1.5× — a loose floor (the ≥3×
-# headline is tracked by bench-check against BENCH_sweep.json) so CI stays
-# stable on small runners. A single-CPU machine cannot show wall-clock
-# parallelism at all; there the 1-worker fast path must instead beat the
-# pre-fast-path serial baseline (23181 µs/subframe, the seed
-# BenchmarkPHYEndToEnd) by the same 1.5× floor.
+# Three assertions:
+#   1. On multicore machines the end-to-end parallel benchmark at 8 workers
+#      must beat the same benchmark at 1 worker by >1.5× — a loose floor
+#      (the ≥3× headline is tracked by bench-check against BENCH_sweep.json)
+#      so CI stays stable on small runners. A single-CPU machine cannot show
+#      wall-clock parallelism at all; there the 1-worker fast path must
+#      instead beat the pre-fast-path serial baseline (23181 µs/subframe,
+#      the seed BenchmarkPHYEndToEnd) by the same 1.5× floor.
+#   2. The int16 quantized turbo decode must beat the float64 reference
+#      (BenchmarkPHYDecodeQuant vs BenchmarkPHYDecodeFloat) — this holds on
+#      any machine; the quantized path exists to be faster.
+#   3. On multicore machines the cross-subframe pipelined window at depth 2
+#      must push more subframes/s than depth 1 (BenchmarkPHYPipelined).
+#      Single-CPU machines skip this: the depths tie by construction.
 set -eu
 
 GO=${GO:-go}
@@ -49,3 +56,49 @@ if [ "$pass" -ne 1 ]; then
 	exit 1
 fi
 echo "phy-speedup: PASS — $label speedup ${ratio}x (> 1.5x)" >&2
+
+# 2. Quantized decode beats the float64 reference (any machine).
+$GO test -bench='BenchmarkPHYDecode(Quant|Float)$' -benchtime=10x -run='^$' . >"$out"
+
+stage_us() { # $1 = benchmark name suffix; prints that row's us/stage
+	awk -v pat="^BenchmarkPHYDecode$1(-[0-9]+)?$" '$1 ~ pat {
+		for (i = 1; i < NF; i++) if ($(i+1) == "us/stage") { print $i; exit }
+	}' "$out"
+}
+
+tq=$(stage_us Quant)
+tf=$(stage_us Float)
+[ -n "$tq" ] && [ -n "$tf" ] || { echo "phy-speedup: FAIL — missing decode-path samples" >&2; cat "$out" >&2; exit 1; }
+qratio=$(awk -v a="$tf" -v b="$tq" 'BEGIN { printf "%.2f", a / b }')
+qpass=$(awk -v a="$tf" -v b="$tq" 'BEGIN { print (a > b) ? 1 : 0 }')
+if [ "$qpass" -ne 1 ]; then
+	echo "phy-speedup: FAIL — quantized decode (${tq} µs) not faster than float64 (${tf} µs)" >&2
+	cat "$out" >&2
+	exit 1
+fi
+echo "phy-speedup: PASS — quantized decode ${qratio}x faster than float64 (${tq} vs ${tf} µs)" >&2
+
+# 3. Cross-subframe pipelining pays at depth 2 (multicore only).
+if [ "$ncpu" -lt 2 ]; then
+	echo "phy-speedup: single CPU — skipping pipelined depth-2 vs depth-1 check" >&2
+	exit 0
+fi
+$GO test -bench='BenchmarkPHYPipelined' -benchtime=10x -run='^$' . >"$out"
+
+sfs_at() { # $1 = depth; prints that row's subframes/s
+	awk -v pat="/depth=$1(-[0-9]+)?$" '$1 ~ pat {
+		for (i = 1; i < NF; i++) if ($(i+1) == "subframes/s") { print $i; exit }
+	}' "$out"
+}
+
+s1=$(sfs_at 1)
+s2=$(sfs_at 2)
+[ -n "$s1" ] && [ -n "$s2" ] || { echo "phy-speedup: FAIL — missing pipelined samples" >&2; cat "$out" >&2; exit 1; }
+pratio=$(awk -v a="$s2" -v b="$s1" 'BEGIN { printf "%.2f", a / b }')
+ppass=$(awk -v a="$s2" -v b="$s1" 'BEGIN { print (a > b) ? 1 : 0 }')
+if [ "$ppass" -ne 1 ]; then
+	echo "phy-speedup: FAIL — depth-2 pipelining (${s2} sf/s) not above depth-1 (${s1} sf/s)" >&2
+	cat "$out" >&2
+	exit 1
+fi
+echo "phy-speedup: PASS — depth-2 pipelining ${pratio}x depth-1 throughput (${s2} vs ${s1} sf/s)" >&2
