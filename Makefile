@@ -8,9 +8,9 @@ BENCHTIME ?= 10x
 # cross-subframe pipelined window).
 BENCH_PHY = BenchmarkPHY(EndToEnd|FFT|Demod|Decode|Pipelined)
 
-.PHONY: ci build test vet race fmt-check bench bench-all bench-check trace-demo sweep-check baselines obs-smoke profile-phy phy-speedup
+.PHONY: ci build test vet race fmt-check bench bench-all bench-check trace-demo sweep-check sweep-check-full baselines baselines-full obs-smoke fleet-smoke profile-phy phy-speedup
 
-ci: vet build race fmt-check sweep-check bench-check phy-speedup obs-smoke
+ci: vet build race fmt-check sweep-check bench-check phy-speedup obs-smoke fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -93,8 +93,54 @@ sweep-check:
 		-out /tmp/rtopex-sweep-check.jsonl \
 		-baseline testdata/baselines/quick.jsonl >/dev/null
 
+# FULL_TOLS are the per-column tolerances for the full-scale gate: the
+# full baseline is byte-exact on the platform that generated it, but its
+# float-heavy columns (latency percentiles, fitted model weights, BLER
+# curves) pass through libm transcendentals whose last-ulp rounding varies
+# across platforms, so those columns get a small relative bound (plus an
+# absolute floor for near-zero cells) while everything else — counts,
+# configurations, labels — must match exactly.
+FULL_TOLS = \
+	-tol 'rtt2_us=0.02,0.5' -tol 'e[rtt2]_us=0.02,0.5' \
+	-tol 'delta_us=0.02,0.5' -tol 'dispatch_us=0.02,0.5' \
+	-tol 'gap_p50_us=0.02,0.5' -tol 'time_us=0.02,0.5' -tol 'time_ms=0.02,0.5' \
+	-tol 'mean=0.02,0.5' -tol 'p10=0.02,0.5' -tol 'p25=0.02,0.5' \
+	-tol 'p50=0.02,0.5' -tol 'p75=0.02,0.5' -tol 'p90=0.02,0.5' \
+	-tol 'p99=0.02,0.5' -tol 'p99.99=0.05,1' -tol 'P(>250us)=0.05,0.001' \
+	-tol 'local_p50=0.02,0.5' -tol 'migrated_p50=0.02,0.5' -tol 'overhead=0.05,0.1' \
+	-tol 'mcs27_proc_p50=0.02,0.5' -tol 'mcs27_proc_p90=0.02,0.5' -tol 'mcs27_proc_p99=0.02,0.5' \
+	-tol 'miss_rate=0.05,0.001' -tol 'ccdf=0.05,0.0001' -tol 'threshold_us=0.02,0.5' \
+	-tol 'L=1=0.05,0.001' -tol 'L=2=0.05,0.001' -tol 'L=3=0.05,0.001' -tol 'L=4=0.05,0.001' \
+	-tol 'snr10=0.05,0.001' -tol 'snr20=0.05,0.001' -tol 'snr30=0.05,0.001' \
+	-tol 'w0=0.05,0.01' -tol 'w1=0.05,0.01' -tol 'w2=0.05,0.01' -tol 'w3=0.05,0.01' \
+	-tol 'r2=0.02,0.01' -tol 'with_cache=0.02,0.5' -tol 'without_cache=0.02,0.5' \
+	-tol '10MHz=0.02,0.5' -tol '5MHz=0.02,0.5' -tol 'savings=0.02,0.01'
+
+# sweep-check-full is the paper-scale regression gate: every deterministic
+# experiment at full scale (30000 subframes, 1e6 samples; ~10x quick's
+# runtime), diffed against the full golden store under FULL_TOLS. Too slow
+# for the default ci target — run it before cutting a release or after any
+# change that touches experiment math.
+sweep-check-full:
+	$(GO) run ./cmd/rtopex -all -parallel -skip-measured \
+		-out /tmp/rtopex-sweep-check-full.jsonl \
+		-baseline testdata/baselines/full.jsonl $(FULL_TOLS) >/dev/null
+
 # baselines regenerates the golden stores after an intentional behavior
 # change. Review the diff before committing.
 baselines:
 	$(GO) run ./cmd/rtopex -all -quick -parallel -skip-measured \
 		-out testdata/baselines/quick.jsonl >/dev/null
+
+# baselines-full regenerates the paper-scale golden store (minutes, not
+# seconds). Review the diff before committing.
+baselines-full:
+	$(GO) run ./cmd/rtopex -all -parallel -skip-measured \
+		-out testdata/baselines/full.jsonl >/dev/null
+
+# fleet-smoke proves the distributed sweep fleet end-to-end: a coordinator
+# plus two workers (one SIGKILLed mid-sweep, forcing a lease reclaim) must
+# produce a store byte-identical, modulo line order, to a serial sweep of
+# the same spec, and pass the quick-baseline gate.
+fleet-smoke:
+	sh scripts/fleet-smoke.sh

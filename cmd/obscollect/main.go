@@ -16,6 +16,10 @@
 //	GET  /sources  per-source push ledger
 //	GET  /dump     full state as JSON
 //
+// With -auth-token (or $RTOPEX_AUTH_TOKEN) every endpoint requires the
+// matching bearer token; pushers send it via `rtopex -push` / `sweepworker
+// -push` with the same flag or env var.
+//
 // Sources that stop pushing without a final snapshot (crashed workers) are
 // evicted after -stale of silence. On SIGINT/SIGTERM the final merged
 // snapshot is flushed to -final as JSON for archival, then the process
@@ -41,6 +45,7 @@ func main() {
 		stale    = flag.Duration("stale", time.Minute, "evict non-final sources silent longer than this (0 = never)")
 		final    = flag.String("final", "", "flush the merged snapshot to this JSON file on shutdown")
 		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+		token    = flag.String("auth-token", "", "require this bearer token on every endpoint (default $RTOPEX_AUTH_TOKEN)")
 		quiet    = flag.Bool("quiet", false, "suppress per-source log lines")
 	)
 	flag.Parse()
@@ -66,9 +71,14 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	logf("listening on http://%s/ (push, metrics, sources, dump)", bound)
+	authToken := obs.AuthTokenFromEnv(*token)
+	auth := "open"
+	if authToken != "" {
+		auth = "bearer-token"
+	}
+	logf("listening on http://%s/ (%s: push, metrics, sources, dump)", bound, auth)
 
-	srv := &http.Server{Handler: col.Handler()}
+	srv := &http.Server{Handler: obs.BearerAuth(authToken, col.Handler())}
 	go func() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			logf("serve: %v", err)

@@ -56,6 +56,11 @@ func main() {
 		httpAddr = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060) for the duration of the run")
 		pushAddr = flag.String("push", "", "stream registry snapshots to the obscollect collector at this address (host:port)")
 	)
+	var tolSpecs []string
+	flag.Func("tol", "per-column tolerance for -baseline, column=rel[,abs] or experiment/column=rel (repeatable)", func(s string) error {
+		tolSpecs = append(tolSpecs, s)
+		return nil
+	})
 	flag.Parse()
 
 	var reg *rtopex.ObsRegistry
@@ -124,7 +129,7 @@ func main() {
 	if sweepMode {
 		os.Exit(runSweep(ids, opts, sweepFlags{
 			parallel: *parallel, workers: *workers, out: *out, resume: *resume,
-			baseline: *baseline, replicas: *replicas, timeout: *timeout,
+			baseline: *baseline, tolSpecs: tolSpecs, replicas: *replicas, timeout: *timeout,
 			skipMeasured: *skipMeas, format: *format, obs: reg, push: pusher,
 		}))
 	}
@@ -192,6 +197,7 @@ type sweepFlags struct {
 	out          string
 	resume       bool
 	baseline     string
+	tolSpecs     []string
 	replicas     int
 	timeout      time.Duration
 	skipMeasured bool
@@ -264,7 +270,12 @@ func runSweep(ids []string, opts rtopex.ExperimentOptions, f sweepFlags) int {
 			fmt.Fprintf(os.Stderr, "rtopex: baseline: %v\n", err)
 			return 1
 		}
-		drifts := rtopex.CompareSweeps(base, records, rtopex.SweepCompareOptions{})
+		perCol, err := rtopex.ParseSweepTolerances(f.tolSpecs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtopex: %v\n", err)
+			return 1
+		}
+		drifts := rtopex.CompareSweeps(base, records, rtopex.SweepCompareOptions{PerColumn: perCol})
 		if len(drifts) > 0 {
 			fmt.Fprintf(os.Stderr, "sweep: %d drift(s) from baseline %s:\n", len(drifts), f.baseline)
 			for _, d := range drifts {

@@ -1,0 +1,94 @@
+// Command sweepworker executes sweep units leased from a sweepd
+// coordinator: lease, run, deliver the artifact record, repeat — with
+// -workers units in flight and a background heartbeat keeping every held
+// lease alive. The worker exits when the coordinator reports the sweep
+// resolved.
+//
+//	sweepworker -coordinator host:7600 -workers 4
+//	sweepworker -coordinator host:7600 -push collector:9090   # live obs
+//
+// -push streams this worker's registry (per-unit counters plus each
+// finished table's summary gauges) to a cmd/obscollect collector, the same
+// passthrough `rtopex -push` offers; -auth-token (or $RTOPEX_AUTH_TOKEN)
+// is sent as a bearer token to both the coordinator and the collector.
+// Unit results are byte-identical to what a serial sweep.Run would record:
+// the lease carries the unit's derived seed inside its resolved options,
+// so nothing about this process's identity leaks into the artifact.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"rtopex/internal/fleet"
+	"rtopex/internal/obs"
+)
+
+func main() {
+	var (
+		coordinator = flag.String("coordinator", "", "sweepd address (host:port or http://host:port)")
+		workers     = flag.Int("workers", 0, "units to run concurrently (default NumCPU)")
+		name        = flag.String("name", "", "worker id on the coordinator's status page (default hostname-pid)")
+		token       = flag.String("auth-token", "", "bearer token for the coordinator and collector (default $RTOPEX_AUTH_TOKEN)")
+		pushAddr    = flag.String("push", "", "also stream registry snapshots to the obscollect collector at this address")
+		quiet       = flag.Bool("quiet", false, "suppress per-unit log lines")
+	)
+	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "sweepworker: "+format+"\n", args...)
+	}
+	wlogf := logf
+	if *quiet {
+		wlogf = nil
+	}
+	if *coordinator == "" {
+		logf("specify -coordinator host:port")
+		flag.Usage()
+		os.Exit(2)
+	}
+	n := *workers
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	authToken := obs.AuthTokenFromEnv(*token)
+
+	var reg *obs.Registry
+	var pusher *obs.Pusher
+	if *pushAddr != "" {
+		reg = obs.NewRegistry()
+		var err error
+		pusher, err = obs.NewPusher(obs.PusherConfig{
+			Addr:      *pushAddr,
+			Source:    obs.DefaultSource(obs.L("role", "sweepworker")),
+			AuthToken: authToken,
+			Logf:      logf,
+		})
+		if err != nil {
+			logf("-push: %v", err)
+			os.Exit(1)
+		}
+	}
+
+	start := time.Now()
+	res, err := fleet.RunWorker(fleet.WorkerConfig{
+		Coordinator: *coordinator,
+		Name:        *name,
+		Parallel:    n,
+		AuthToken:   authToken,
+		Logf:        wlogf,
+		Obs:         reg,
+		Push:        pusher,
+	})
+	if res != nil {
+		logf("done in %.1fs: %d completed, %d duplicates, %d failed",
+			time.Since(start).Seconds(), res.Completed, res.Duplicates, res.Failed)
+	}
+	if err != nil {
+		logf("%v", err)
+		os.Exit(1)
+	}
+}

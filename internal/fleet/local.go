@@ -1,0 +1,85 @@
+package fleet
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"rtopex/internal/obs"
+	"rtopex/internal/sweep"
+)
+
+// LocalResult is what RunLocal hands back: the coordinator's ledger plus
+// the artifacts, ready for rendering or a baseline gate.
+type LocalResult struct {
+	Summary Summary
+	Records []*sweep.Record
+	Workers []*WorkerResult
+	Wall    time.Duration
+}
+
+// RunLocal runs a coordinator and n in-process workers over a real
+// loopback HTTP listener — the single-machine form of a fleet sweep, the
+// harness the fault tests drive, and a quick way to check a spec before
+// renting a fleet. worker is the per-worker template; its Coordinator and
+// Name are filled in per worker (w0, w1, …). The coordinator's auth token
+// (if any) must already be set in worker.AuthToken; RunLocal wraps the
+// handler in obs.BearerAuth with that token so the loopback path exercises
+// auth too.
+func RunLocal(cfg Config, n int, worker WorkerConfig) (*LocalResult, error) {
+	if n <= 0 {
+		n = 1
+	}
+	coord, err := NewCoordinator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer coord.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: obs.BearerAuth(worker.AuthToken, coord.Handler())}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	start := time.Now()
+	results := make([]*WorkerResult, n)
+	errs := make([]error, n)
+	done := make(chan int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wcfg := worker
+		wcfg.Coordinator = ln.Addr().String()
+		if wcfg.Name == "" {
+			wcfg.Name = fmt.Sprintf("w%d", i)
+		} else {
+			wcfg.Name = fmt.Sprintf("%s-%d", wcfg.Name, i)
+		}
+		go func() {
+			results[i], errs[i] = RunWorker(wcfg)
+			done <- i
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	var firstErr error
+	for _, err := range errs {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	res := &LocalResult{
+		Summary: coord.Summary(),
+		Records: coord.Records(),
+		Workers: results,
+		Wall:    time.Since(start),
+	}
+	if err := coord.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return res, firstErr
+}

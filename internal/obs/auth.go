@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"crypto/subtle"
+	"net/http"
+	"os"
+	"strings"
+)
+
+// Bearer-token authentication shared by every HTTP surface of the fleet:
+// the obscollect collector and the sweep-fleet coordinator both wrap their
+// handlers in BearerAuth, and the push/lease clients send the matching
+// header. A token is a shared secret for keeping stray processes out of a
+// lab fleet, not a substitute for TLS — run real deployments behind a
+// TLS-terminating proxy.
+
+// AuthEnvVar is the environment variable clients and servers read for a
+// default token, so a fleet can be secured without threading the secret
+// through every flag.
+const AuthEnvVar = "RTOPEX_AUTH_TOKEN"
+
+// AuthTokenFromEnv resolves an auth token: an explicit flag value wins,
+// otherwise the AuthEnvVar environment variable; empty means no auth.
+func AuthTokenFromEnv(flagValue string) string {
+	if flagValue != "" {
+		return flagValue
+	}
+	return os.Getenv(AuthEnvVar)
+}
+
+// AuthHeader sets the bearer Authorization header on req when token is
+// non-empty.
+func AuthHeader(req *http.Request, token string) {
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+}
+
+// BearerAuth wraps h, rejecting every request that does not carry
+// `Authorization: Bearer <token>` with 401. The comparison is
+// constant-time. An empty token disables the check (h is returned as-is),
+// so call sites can wire the flag unconditionally.
+func BearerAuth(token string, h http.Handler) http.Handler {
+	if token == "" {
+		return h
+	}
+	want := []byte(token)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || subtle.ConstantTimeCompare([]byte(got), want) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="rtopex"`)
+			http.Error(w, "missing or invalid bearer token", http.StatusUnauthorized)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBearerAuth(t *testing.T) {
+	okHandler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := httptest.NewServer(BearerAuth("s3cret", okHandler))
+	defer srv.Close()
+
+	status := func(authorization string) int {
+		req, err := http.NewRequest(http.MethodGet, srv.URL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if authorization != "" {
+			req.Header.Set("Authorization", authorization)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := status("Bearer s3cret"); got != http.StatusOK {
+		t.Fatalf("right token: HTTP %d", got)
+	}
+	for name, header := range map[string]string{
+		"no header":    "",
+		"wrong token":  "Bearer nope",
+		"wrong scheme": "Basic s3cret",
+		"bare token":   "s3cret",
+		"prefix match": "Bearer s3cre",
+		"superstring":  "Bearer s3crets",
+	} {
+		if got := status(header); got != http.StatusUnauthorized {
+			t.Fatalf("%s: HTTP %d, want 401", name, got)
+		}
+	}
+}
+
+func TestBearerAuthEmptyTokenIsOpen(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if got := BearerAuth("", h); got == nil {
+		t.Fatal("nil handler")
+	} else if _, ok := got.(http.HandlerFunc); !ok {
+		t.Fatalf("empty token should return the handler unchanged, got %T", got)
+	}
+}
+
+func TestAuthHeader(t *testing.T) {
+	req, _ := http.NewRequest(http.MethodPost, "http://x/", nil)
+	AuthHeader(req, "")
+	if got := req.Header.Get("Authorization"); got != "" {
+		t.Fatalf("empty token set header %q", got)
+	}
+	AuthHeader(req, "tok")
+	if got := req.Header.Get("Authorization"); got != "Bearer tok" {
+		t.Fatalf("header %q", got)
+	}
+}
+
+func TestAuthTokenFromEnv(t *testing.T) {
+	t.Setenv(AuthEnvVar, "from-env")
+	if got := AuthTokenFromEnv(""); got != "from-env" {
+		t.Fatalf("env fallback: %q", got)
+	}
+	if got := AuthTokenFromEnv("from-flag"); got != "from-flag" {
+		t.Fatalf("flag should win: %q", got)
+	}
+	t.Setenv(AuthEnvVar, "")
+	if got := AuthTokenFromEnv(""); got != "" {
+		t.Fatalf("no token anywhere: %q", got)
+	}
+}
+
+func TestRetryPolicyBackoffSchedule(t *testing.T) {
+	var slept []time.Duration
+	p := RetryPolicy{
+		Attempts: 5,
+		Backoff:  100 * time.Millisecond,
+		Cap:      300 * time.Millisecond,
+		Sleep:    func(d time.Duration) { slept = append(slept, d) },
+	}
+	calls := 0
+	err := p.Do("op", func() error { calls++; return errTransient })
+	if err == nil || !strings.Contains(err.Error(), "op failed after 5 attempt(s)") {
+		t.Fatalf("err %v", err)
+	}
+	if calls != 5 {
+		t.Fatalf("%d calls, want 5", calls)
+	}
+	// Doubling from 100ms, capped at 300ms, no sleep after the last try.
+	want := []time.Duration{100, 200, 300, 300}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v", slept)
+	}
+	for i, d := range want {
+		if slept[i] != d*time.Millisecond {
+			t.Fatalf("sleep %d = %s, want %s", i, slept[i], d*time.Millisecond)
+		}
+	}
+}
+
+var errTransient = &transientErr{}
+
+type transientErr struct{}
+
+func (*transientErr) Error() string { return "transient" }
+
+func TestRetryPolicyPermanentStopsImmediately(t *testing.T) {
+	calls := 0
+	p := RetryPolicy{Attempts: 5, Sleep: func(time.Duration) { t.Fatal("slept on a permanent error") }}
+	err := p.Do("op", func() error { calls++; return Permanent(errTransient) })
+	if calls != 1 {
+		t.Fatalf("%d calls, want 1", calls)
+	}
+	// The permanent marker is stripped before returning.
+	if err != errTransient {
+		t.Fatalf("err %v, want the unwrapped original", err)
+	}
+	if IsPermanent(err) {
+		t.Fatal("returned error still carries the permanent marker")
+	}
+	if !IsPermanent(Permanent(errTransient)) {
+		t.Fatal("IsPermanent misses a wrapped error")
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+}
+
+func TestRetryPolicyEventualSuccess(t *testing.T) {
+	calls := 0
+	p := RetryPolicy{Attempts: 4, Sleep: func(time.Duration) {}}
+	err := p.Do("op", func() error {
+		calls++
+		if calls < 3 {
+			return errTransient
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err %v after %d calls", err, calls)
+	}
+}

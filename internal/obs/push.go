@@ -28,6 +28,9 @@ type PusherConfig struct {
 	// Backoff is the initial retry delay, doubling per attempt and capped
 	// at 1s (default 100ms).
 	Backoff time.Duration
+	// AuthToken, when non-empty, is sent as a bearer Authorization header
+	// with every push (the collector's -auth-token).
+	AuthToken string
 	// Client substitutes the HTTP client (tests); nil builds one from
 	// Timeout.
 	Client *http.Client
@@ -110,42 +113,36 @@ func (p *Pusher) push(reg *Registry, final bool) error {
 	}
 	// The body is encoded once and resent verbatim, so a retry after a lost
 	// response carries the same seq and the collector deduplicates it.
-	backoff := p.cfg.Backoff
-	attempts := p.cfg.Retries + 1
-	var lastErr error
-	for i := 0; i < attempts; i++ {
-		err := p.attempt(body.Bytes())
-		if err == nil {
-			return nil
-		}
-		lastErr = err
-		if se, ok := err.(*pushStatusError); ok && se.status >= 400 && se.status < 500 {
-			return fmt.Errorf("obs: push to %s rejected: %v", p.url, err)
-		}
-		if i < attempts-1 {
-			if p.cfg.Logf != nil {
-				p.cfg.Logf("obs: push to %s attempt %d/%d failed (%v), retrying in %s",
-					p.url, i+1, attempts, err, backoff)
-			}
-			time.Sleep(backoff)
-			backoff *= 2
-			if backoff > time.Second {
-				backoff = time.Second
-			}
-		}
+	policy := RetryPolicy{
+		Attempts: p.cfg.Retries + 1,
+		Backoff:  p.cfg.Backoff,
+		Logf:     p.cfg.Logf,
 	}
-	return fmt.Errorf("obs: push to %s failed after %d attempt(s): %v", p.url, attempts, lastErr)
+	return policy.Do(fmt.Sprintf("obs: push to %s", p.url), func() error {
+		return p.attempt(body.Bytes())
+	})
 }
 
 func (p *Pusher) attempt(body []byte) error {
-	resp, err := p.client.Post(p.url, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, p.url, bytes.NewReader(body))
+	if err != nil {
+		return Permanent(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	AuthHeader(req, p.cfg.AuthToken)
+	resp, err := p.client.Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return &pushStatusError{status: resp.StatusCode, msg: strings.TrimSpace(string(msg))}
+		err := &pushStatusError{status: resp.StatusCode, msg: strings.TrimSpace(string(msg))}
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			// A rejected envelope will not improve by resending.
+			return Permanent(fmt.Errorf("obs: push to %s rejected: %v", p.url, err))
+		}
+		return err
 	}
 	return nil
 }

@@ -54,6 +54,46 @@ func TestPusherDeliversToCollector(t *testing.T) {
 	}
 }
 
+// TestPusherAuth: a pusher with the collector's token gets through the
+// BearerAuth gate; one without is rejected permanently (401, no retries).
+func TestPusherAuth(t *testing.T) {
+	col := NewCollector(CollectorConfig{})
+	srv := httptest.NewServer(BearerAuth("s3cret", col.Handler()))
+	defer srv.Close()
+
+	reg := NewRegistry()
+	reg.Counter("work_total").Add(5)
+
+	good, err := NewPusher(PusherConfig{
+		Addr: srv.URL, Source: Source{ID: "good"}, AuthToken: "s3cret",
+		Retries: 1, Backoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := good.Push(reg); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := col.Merged().CounterValue("work_total"); !ok || v != 5 {
+		t.Fatalf("merged work_total = %d (ok=%v), want 5", v, ok)
+	}
+
+	bad, err := NewPusher(PusherConfig{
+		Addr: srv.URL, Source: Source{ID: "bad"}, AuthToken: "wrong",
+		Retries: 3, Backoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = bad.Push(reg)
+	if err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("wrong token pushed: %v", err)
+	}
+	if srcs := col.Sources(); len(srcs) != 1 {
+		t.Fatalf("unauthenticated push reached the collector: %+v", srcs)
+	}
+}
+
 // TestPusherRetriesOn5xx: transient server errors are retried with backoff
 // until one attempt lands.
 func TestPusherRetriesOn5xx(t *testing.T) {

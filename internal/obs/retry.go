@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// RetryPolicy is the bounded-retry/backoff schedule shared by every HTTP
+// client in the fleet: the push client (Pusher) and the sweep-fleet lease
+// client both drive their attempts through it, so "how a worker survives a
+// flaky coordinator" is defined in exactly one place.
+//
+// The schedule: up to Attempts tries, sleeping Backoff before the first
+// retry and doubling per retry up to Cap. An attempt that returns an error
+// wrapped by Permanent stops the loop immediately — resending will not
+// change the answer (the pusher maps HTTP 4xx here).
+type RetryPolicy struct {
+	// Attempts is the total number of tries (first attempt included);
+	// values < 1 mean 1.
+	Attempts int
+	// Backoff is the delay before the first retry, doubling per retry
+	// (default 100ms).
+	Backoff time.Duration
+	// Cap bounds the grown backoff (default 1s).
+	Cap time.Duration
+	// Sleep substitutes the delay function (tests); nil means time.Sleep.
+	Sleep func(time.Duration)
+	// Logf, when non-nil, receives one line per transient failure.
+	Logf func(format string, args ...any)
+}
+
+// permanentError marks an error as not worth retrying.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so RetryPolicy.Do stops retrying and returns it
+// (unwrapped) at once. A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err carries the Permanent marker.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// Do runs attempt under the policy. On success it returns nil; on a
+// permanent error it returns that error immediately (unwrapped); when the
+// budget is exhausted it returns the last error annotated with the attempt
+// count. desc names the operation in log lines and the final error.
+func (p RetryPolicy) Do(desc string, attempt func() error) error {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := p.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	cap := p.Cap
+	if cap <= 0 {
+		cap = time.Second
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		err := attempt()
+		if err == nil {
+			return nil
+		}
+		var pe *permanentError
+		if errors.As(err, &pe) {
+			return pe.err
+		}
+		lastErr = err
+		if i < attempts-1 {
+			if p.Logf != nil {
+				p.Logf("%s attempt %d/%d failed (%v), retrying in %s", desc, i+1, attempts, err, backoff)
+			}
+			sleep(backoff)
+			backoff *= 2
+			if backoff > cap {
+				backoff = cap
+			}
+		}
+	}
+	return fmt.Errorf("%s failed after %d attempt(s): %v", desc, attempts, lastErr)
+}

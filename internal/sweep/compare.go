@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"strings"
 
 	"rtopex/internal/obs"
 )
@@ -26,6 +27,46 @@ func (t Tolerance) ok(base, got float64) bool {
 		return true
 	}
 	return math.Abs(base-got) <= t.Abs+t.Rel*math.Max(math.Abs(base), math.Abs(got))
+}
+
+// ParseTolerances parses command-line tolerance specs of the form
+// "column=rel" or "experiment/column=rel" or "column=rel,abs" into the
+// PerColumn map CompareOptions takes. Rel and Abs are plain floats
+// (e.g. "gap_p50=0.001" allows 0.1% relative drift on every gap_p50 cell).
+// The split is at the LAST '=', so column names containing '=' (fig3a's
+// "L=1", ablation-granularity's "none(=partitioned)") stay addressable.
+func ParseTolerances(specs []string) (map[string]Tolerance, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]Tolerance, len(specs))
+	for _, spec := range specs {
+		i := strings.LastIndex(spec, "=")
+		var col, vals string
+		ok := i >= 0
+		if ok {
+			col, vals = spec[:i], spec[i+1:]
+		}
+		if !ok || col == "" || vals == "" {
+			return nil, fmt.Errorf("sweep: tolerance %q: want column=rel or column=rel,abs", spec)
+		}
+		var t Tolerance
+		rel, abs, hasAbs := strings.Cut(vals, ",")
+		v, err := strconv.ParseFloat(rel, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: tolerance %q: bad relative bound: %v", spec, err)
+		}
+		t.Rel = v
+		if hasAbs {
+			v, err := strconv.ParseFloat(abs, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: tolerance %q: bad absolute bound: %v", spec, err)
+			}
+			t.Abs = v
+		}
+		out[col] = t
+	}
+	return out, nil
 }
 
 // CompareOptions configure the regression gate.

@@ -111,6 +111,12 @@ func (s *Store) Append(r *Record) error {
 	if err != nil {
 		return err
 	}
+	return s.AppendLine(line)
+}
+
+// AppendLine writes one pre-marshaled record line (as produced by
+// MarshalLine) and syncs it.
+func (s *Store) AppendLine(line []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, err := s.f.Write(line); err != nil {

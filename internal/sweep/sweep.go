@@ -47,7 +47,9 @@ type Config struct {
 	Replicas int
 	// Timeout bounds one unit's run; ≤ 0 disables. A timed-out unit is
 	// reported as a Failure and its goroutine abandoned (experiments are
-	// pure compute with no cancellation points).
+	// pure compute with no cancellation points); the abandoned goroutine
+	// can never write the unit's store key, so a re-run — or a fleet
+	// re-lease — is free to claim it (see ExecuteUnit).
 	Timeout time.Duration
 	// SkipMeasured excludes wall-clock-dependent experiments (fig4), whose
 	// artifacts can never be byte-identical across runs.
@@ -88,13 +90,6 @@ func (c Config) replicas() int {
 		return c.Replicas
 	}
 	return 1
-}
-
-func (c Config) run(id string, o harness.Options) (*harness.Table, error) {
-	if c.runFn != nil {
-		return c.runFn(id, o)
-	}
-	return harness.Run(id, o)
 }
 
 // DeriveSeed computes a unit's seed from the sweep's root seed, the
@@ -230,7 +225,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	res := &Result{}
-	var store *Store
+	var ingest *Ingest
 	existing := map[string]*Record{}
 	if cfg.StorePath != "" {
 		var prior []*Record
@@ -239,21 +234,28 @@ func Run(cfg Config) (*Result, error) {
 			if rerr != nil && !isNotExist(rerr) {
 				return nil, rerr
 			}
-			prior = recs
 			existing = IndexByKey(recs)
+			// Keep only each key's index winner (the freshest copy), in file
+			// order, so the rewrite below never carries stale duplicates.
+			for _, r := range recs {
+				if existing[r.Key] == r {
+					prior = append(prior, r)
+				}
+			}
 		}
-		store, err = CreateStore(cfg.StorePath)
+		store, err := CreateStore(cfg.StorePath)
 		if err != nil {
 			return nil, err
 		}
 		defer store.Close()
 		// Rewrite the surviving records so a store truncated by a mid-write
 		// kill is repaired (the partial trailing line is dropped) and fresh
-		// appends start on a clean line boundary.
-		for _, r := range prior {
-			if err := store.Append(r); err != nil {
-				return nil, err
-			}
+		// appends start on a clean line boundary. All writes go through the
+		// deduping Ingest, so a key can never gain a second record — the
+		// guard that makes abandoning a timed-out unit safe.
+		ingest, err = NewIngest(store, prior)
+		if err != nil {
+			return nil, err
 		}
 	}
 
@@ -310,8 +312,8 @@ func Run(cfg Config) (*Result, error) {
 					progress(u, status, d)
 				default:
 					res.Records = append(res.Records, rec)
-					if store != nil {
-						if err := store.Append(rec); err != nil && firstErr == nil {
+					if ingest != nil {
+						if _, err := ingest.Add(rec); err != nil && firstErr == nil {
 							firstErr = err
 						}
 					}
@@ -338,6 +340,30 @@ func Run(cfg Config) (*Result, error) {
 
 // runUnit executes one unit with panic recovery and an optional timeout.
 func runUnit(cfg Config, u Unit) (*Record, *Failure) {
+	return ExecuteUnit(u, cfg.Timeout, cfg.runFn)
+}
+
+// RunFunc is the experiment runner a unit execution is parameterized by;
+// nil means harness.Run. Fleet workers and tests substitute it.
+type RunFunc func(id string, o harness.Options) (*harness.Table, error)
+
+// ExecuteUnit runs one unit with panic recovery and an optional timeout,
+// producing either its artifact record or a failure. This is the only
+// place records are built, so a worker process and an in-process sweep
+// emit byte-identical artifacts for the same unit.
+//
+// Timeout semantics: a unit that exceeds the timeout is reported as a
+// TimedOut failure and its goroutine abandoned (experiments are pure
+// compute with no cancellation points). The abandoned goroutine delivers
+// its late result into a buffered channel nobody reads — it holds no store
+// or ingest reference, so a late finisher can never append a record. The
+// unit's store key therefore stays unwritten, free for a re-run (or a
+// fleet re-lease) to claim; if a zombie's copy of the record does surface
+// later, Ingest dedups it by content hash.
+func ExecuteUnit(u Unit, timeout time.Duration, runFn RunFunc) (*Record, *Failure) {
+	if runFn == nil {
+		runFn = harness.Run
+	}
 	type outcome struct {
 		tb  *harness.Table
 		err error
@@ -349,14 +375,14 @@ func runUnit(cfg Config, u Unit) (*Record, *Failure) {
 				ch <- outcome{err: fmt.Errorf("panic: %v", p)}
 			}
 		}()
-		tb, err := cfg.run(u.Spec.ID, u.Options)
+		tb, err := runFn(u.Spec.ID, u.Options)
 		ch <- outcome{tb: tb, err: err}
 	}()
-	var timeout <-chan time.Time
-	if cfg.Timeout > 0 {
-		t := time.NewTimer(cfg.Timeout)
+	var timeoutC <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
 		defer t.Stop()
-		timeout = t.C
+		timeoutC = t.C
 	}
 	select {
 	case o := <-ch:
@@ -376,10 +402,10 @@ func runUnit(cfg Config, u Unit) (*Record, *Failure) {
 			// function of the unit (the byte-identity guarantee).
 			Obs: harness.TableSnapshot(o.tb),
 		}, nil
-	case <-timeout:
+	case <-timeoutC:
 		return nil, &Failure{
 			Unit:     u,
-			Err:      fmt.Sprintf("no result within %s (shard abandoned)", cfg.Timeout),
+			Err:      fmt.Sprintf("no result within %s (shard abandoned)", timeout),
 			TimedOut: true,
 		}
 	}

@@ -281,6 +281,82 @@ func TestFaultIsolation(t *testing.T) {
 	}
 }
 
+// TestTimeoutAbandonsKey is the regression test for the timed-out-unit
+// contract: the abandoned goroutine's late result must never reach the
+// store, the unit's key stays unwritten (so a resume recomputes it), and
+// the resumed record is byte-identical to an untimed run's.
+func TestTimeoutAbandonsKey(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.jsonl")
+	ids := []string{"fig18", "table1"}
+
+	lateDone := make(chan struct{})
+	slow := func(id string, o harness.Options) (*harness.Table, error) {
+		tb := &harness.Table{ID: id, Title: "fake", Columns: []string{"seed"}}
+		tb.AddRow(fmt.Sprint(o.Resolve().Seed))
+		if id == "fig18" {
+			defer close(lateDone)
+			time.Sleep(300 * time.Millisecond)
+		}
+		return tb, nil
+	}
+	res, err := Run(Config{IDs: ids, Workers: 2, Options: tinyOptions,
+		Timeout: 50 * time.Millisecond, StorePath: path, runFn: slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 1 || !res.Failures[0].TimedOut || res.Failures[0].Unit.Spec.ID != "fig18" {
+		t.Fatalf("failures: %+v, want fig18 timed out", res.Failures)
+	}
+
+	// Let the abandoned goroutine finish its sleep and deliver its late
+	// result into the void, then check it never touched the store.
+	<-lateDone
+	time.Sleep(20 * time.Millisecond)
+	recs, err := ReadStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Experiment != "table1" {
+		t.Fatalf("store after timeout holds %+v, want only table1", recs)
+	}
+
+	// The key is free: a resumed sweep recomputes fig18 (not reused) and
+	// lands exactly one record for it, identical to an untimed run's.
+	fast := func(id string, o harness.Options) (*harness.Table, error) {
+		tb := &harness.Table{ID: id, Title: "fake", Columns: []string{"seed"}}
+		tb.AddRow(fmt.Sprint(o.Resolve().Seed))
+		return tb, nil
+	}
+	res2, err := Run(Config{IDs: ids, Workers: 2, Options: tinyOptions,
+		StorePath: path, Resume: true, runFn: fast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Reused != 1 || res2.Ran != 1 || len(res2.Failures) != 0 {
+		t.Fatalf("resume: reused %d ran %d failures %v", res2.Reused, res2.Ran, res2.Failures)
+	}
+	recs, err = ReadStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := IndexByKey(recs)
+	if len(recs) != 2 || len(byKey) != 2 {
+		t.Fatalf("resumed store holds %d lines over %d keys, want 2/2", len(recs), len(byKey))
+	}
+
+	ref := filepath.Join(dir, "ref.jsonl")
+	if _, err := Run(Config{IDs: ids, Workers: 1, Options: tinyOptions, StorePath: ref, runFn: fast}); err != nil {
+		t.Fatal(err)
+	}
+	got, want := storeLines(t, path), storeLines(t, ref)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("resumed store line %d differs from untimed run:\ngot:  %s\nwant: %s", i, got[i], want[i])
+		}
+	}
+}
+
 func fakeRecord(id string, replica int, cells ...string) *Record {
 	tb := &harness.Table{ID: id, Title: id, Columns: []string{"a", "b"}}
 	tb.Rows = append(tb.Rows, cells)
@@ -359,6 +435,40 @@ func TestCompare(t *testing.T) {
 	d = Compare(base, fresh, exact)
 	if len(d) != 1 || d[0].Where != "config" {
 		t.Fatalf("config drift not caught: %v", d)
+	}
+}
+
+func TestParseTolerances(t *testing.T) {
+	got, err := ParseTolerances([]string{
+		"rtt2_us=0.02",
+		"fig6/p99=0.05,0.5",
+		"L=1=0.05,0.001",              // column name contains '='
+		"none(=partitioned)=0.02,0.5", // ditto
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]Tolerance{
+		"rtt2_us":            {Rel: 0.02},
+		"fig6/p99":           {Rel: 0.05, Abs: 0.5},
+		"L=1":                {Rel: 0.05, Abs: 0.001},
+		"none(=partitioned)": {Rel: 0.02, Abs: 0.5},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v", got)
+	}
+	for col, tol := range want {
+		if got[col] != tol {
+			t.Fatalf("%s parsed as %+v, want %+v", col, got[col], tol)
+		}
+	}
+	if nilMap, err := ParseTolerances(nil); err != nil || nilMap != nil {
+		t.Fatalf("empty specs: %v %v", nilMap, err)
+	}
+	for _, bad := range []string{"nocolon", "=0.1", "x=", "x=notafloat", "x=0.1,notafloat"} {
+		if _, err := ParseTolerances([]string{bad}); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
 	}
 }
 

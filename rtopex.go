@@ -265,6 +265,13 @@ func CompareSweeps(baseline, fresh []*SweepRecord, o SweepCompareOptions) []Swee
 	return sweep.Compare(baseline, fresh, o)
 }
 
+// ParseSweepTolerances parses "column=rel[,abs]" or
+// "experiment/column=rel[,abs]" specs (the repeatable -tol flag) into the
+// PerColumn map CompareSweeps takes.
+func ParseSweepTolerances(specs []string) (map[string]SweepTolerance, error) {
+	return sweep.ParseTolerances(specs)
+}
+
 // AggregateSweepReplicas reduces a replicated sweep's records to one
 // mean ± 95% CI summary table per experiment (Student-t over the replicas).
 func AggregateSweepReplicas(records []*SweepRecord) []*ExperimentTable {

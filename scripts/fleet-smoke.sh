@@ -1,0 +1,137 @@
+#!/bin/sh
+# fleet-smoke: end-to-end fault-tolerance check for the distributed sweep
+# fleet (sweepd + sweepworker).
+#
+# A coordinator distributes the full quick registry to two authenticated
+# workers. One worker is SIGKILLed the moment it holds a lease, forcing the
+# coordinator to reclaim the orphaned unit after the lease TTL and re-lease
+# it to the survivor. The run must still:
+#
+#   1. resolve every unit with zero failures and at least one reclaim,
+#   2. pass the checked-in quick-baseline gate inside sweepd, and
+#   3. produce a store byte-identical, modulo line order, to a serial
+#      single-process sweep of the same spec — the fleet determinism
+#      contract under worker death.
+set -eu
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+	for p in $pids; do kill "$p" 2>/dev/null || true; done
+	for p in $pids; do wait "$p" 2>/dev/null || true; done
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "fleet-smoke: building binaries" >&2
+$GO build -o "$tmp/sweepd" ./cmd/sweepd
+$GO build -o "$tmp/sweepworker" ./cmd/sweepworker
+$GO build -o "$tmp/rtopex" ./cmd/rtopex
+
+echo "fleet-smoke: serial reference sweep" >&2
+"$tmp/rtopex" -all -quick -parallel -skip-measured \
+	-out "$tmp/serial.jsonl" >/dev/null 2>>"$tmp/serial.log" || {
+	echo "fleet-smoke: serial sweep failed" >&2
+	cat "$tmp/serial.log" >&2
+	exit 1
+}
+
+# The whole fleet shares a bearer token through the environment — this also
+# smoke-tests the auth path on every lease/heartbeat/complete request.
+RTOPEX_AUTH_TOKEN="fleet-smoke-$$"
+export RTOPEX_AUTH_TOKEN
+
+echo "fleet-smoke: starting coordinator" >&2
+"$tmp/sweepd" -listen 127.0.0.1:0 -addr-file "$tmp/addr" \
+	-out "$tmp/fleet.jsonl" -lease-ttl 2s \
+	-all -quick -skip-measured \
+	-baseline testdata/baselines/quick.jsonl 2>"$tmp/sweepd.log" &
+coord=$!
+pids="$pids $coord"
+for _ in $(seq 1 100); do
+	[ -s "$tmp/addr" ] && break
+	sleep 0.05
+done
+[ -s "$tmp/addr" ] || { echo "fleet-smoke: coordinator did not bind" >&2; cat "$tmp/sweepd.log" >&2; exit 1; }
+addr=$(cat "$tmp/addr")
+
+fetch_state() {
+	if command -v curl >/dev/null 2>&1; then
+		curl -fsS -H "Authorization: Bearer $RTOPEX_AUTH_TOKEN" "http://$addr/state.json"
+	else
+		wget -qO- --header "Authorization: Bearer $RTOPEX_AUTH_TOKEN" "http://$addr/state.json"
+	fi
+}
+
+echo "fleet-smoke: starting workers (victim + survivor)" >&2
+"$tmp/sweepworker" -coordinator "$addr" -name victim -workers 1 -quiet 2>"$tmp/victim.log" &
+victim=$!
+pids="$pids $victim"
+"$tmp/sweepworker" -coordinator "$addr" -name survivor -workers 2 2>"$tmp/survivor.log" &
+survivor=$!
+pids="$pids $survivor"
+
+# Kill the victim the moment the coordinator shows it holding a lease:
+# its in-flight unit becomes an orphan the TTL must reclaim.
+killed=0
+for _ in $(seq 1 200); do
+	kill -0 "$coord" 2>/dev/null || break
+	if fetch_state 2>/dev/null | grep -Eq '"victim":[1-9]'; then
+		kill -KILL "$victim" 2>/dev/null || true
+		killed=1
+		echo "fleet-smoke: SIGKILLed victim mid-unit" >&2
+		break
+	fi
+	sleep 0.05
+done
+[ "$killed" = 1 ] || {
+	echo "fleet-smoke: FAIL — victim never held a lease (sweep too fast?)" >&2
+	cat "$tmp/sweepd.log" >&2
+	exit 1
+}
+
+# The coordinator exits on its own once every unit resolves (and after its
+# baseline gate); its exit code carries failures and baseline drift.
+if ! wait "$coord"; then
+	echo "fleet-smoke: FAIL — sweepd exited nonzero:" >&2
+	cat "$tmp/sweepd.log" >&2
+	exit 1
+fi
+if ! wait "$survivor"; then
+	echo "fleet-smoke: FAIL — surviving worker exited nonzero:" >&2
+	cat "$tmp/survivor.log" >&2
+	exit 1
+fi
+wait "$victim" 2>/dev/null || true
+pids=""
+
+summary=$(grep 'sweep resolved:' "$tmp/sweepd.log" || true)
+[ -n "$summary" ] || {
+	echo "fleet-smoke: FAIL — no resolution summary in sweepd log:" >&2
+	cat "$tmp/sweepd.log" >&2
+	exit 1
+}
+reclaims=$(echo "$summary" | sed -n 's/.* \([0-9][0-9]*\) reclaims.*/\1/p')
+if [ -z "$reclaims" ] || [ "$reclaims" -lt 1 ]; then
+	echo "fleet-smoke: FAIL — expected >=1 lease reclaim after killing the victim, got: $summary" >&2
+	exit 1
+fi
+grep -q 'matches baseline' "$tmp/sweepd.log" || {
+	echo "fleet-smoke: FAIL — baseline gate did not pass:" >&2
+	cat "$tmp/sweepd.log" >&2
+	exit 1
+}
+
+# The determinism contract: fleet store == serial store, modulo line order.
+sort "$tmp/serial.jsonl" >"$tmp/serial.sorted"
+sort "$tmp/fleet.jsonl" >"$tmp/fleet.sorted"
+if ! diff -u "$tmp/serial.sorted" "$tmp/fleet.sorted" >"$tmp/store.diff"; then
+	echo "fleet-smoke: FAIL — fleet store differs from serial store:" >&2
+	cat "$tmp/store.diff" >&2
+	exit 1
+fi
+lines=$(wc -l <"$tmp/fleet.sorted")
+[ "$lines" -gt 0 ] || { echo "fleet-smoke: FAIL — empty fleet store" >&2; exit 1; }
+
+echo "fleet-smoke: PASS — $lines records byte-identical to serial after a worker kill ($reclaims reclaim(s)); $summary" >&2
