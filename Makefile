@@ -7,10 +7,14 @@ BENCHTIME ?= 10x
 # parallel, per-stage sub-benchmarks, the quant/float decode pair, and the
 # cross-subframe pipelined window).
 BENCH_PHY = BenchmarkPHY(EndToEnd|FFT|Demod|Decode|Pipelined)
+# The flight-recorder overhead pair runs more iterations than the rest:
+# its armed/disabled gate is a median of per-iteration pairs, and 30 pairs
+# keep that median stable enough to hold to ±5%.
+FLIGHT_BENCHTIME ?= 30x
 
-.PHONY: ci build test vet race fmt-check bench bench-all bench-check trace-demo sweep-check sweep-check-full baselines baselines-full obs-smoke fleet-smoke profile-phy phy-speedup
+.PHONY: ci build test vet race fmt-check bench bench-all bench-check trace-demo sweep-check sweep-check-full baselines baselines-full obs-smoke fleet-smoke flight-smoke profile-phy phy-speedup
 
-ci: vet build race fmt-check sweep-check bench-check phy-speedup obs-smoke fleet-smoke
+ci: vet build race fmt-check sweep-check bench-check phy-speedup obs-smoke fleet-smoke flight-smoke
 
 build:
 	$(GO) build ./...
@@ -37,7 +41,8 @@ fmt-check:
 # BENCH_sweep.json so later PRs can diff them.
 bench:
 	{ $(GO) test -bench='BenchmarkSweepWorkerPool' -benchtime=$(BENCHTIME) -run='^$$' ./internal/sweep; \
-	  $(GO) test -bench='$(BENCH_PHY)' -benchtime=$(BENCHTIME) -run='^$$' .; } \
+	  $(GO) test -bench='$(BENCH_PHY)' -benchtime=$(BENCHTIME) -run='^$$' .; \
+	  $(GO) test -bench='BenchmarkFlightRecorder' -benchtime=$(FLIGHT_BENCHTIME) -run='^$$' ./internal/harness; } \
 	| $(GO) run ./cmd/benchjson -out BENCH_sweep.json
 
 # bench-all sweeps every benchmark once (no JSON artifact).
@@ -54,10 +59,12 @@ bench-all:
 # baseline with `make bench` after an intentional perf change.
 bench-check:
 	{ $(GO) test -bench='BenchmarkSweepWorkerPool' -benchtime=$(BENCHTIME) -run='^$$' ./internal/sweep; \
-	  $(GO) test -bench='$(BENCH_PHY)' -benchtime=$(BENCHTIME) -run='^$$' .; } \
+	  $(GO) test -bench='$(BENCH_PHY)' -benchtime=$(BENCHTIME) -run='^$$' .; \
+	  $(GO) test -bench='BenchmarkFlightRecorder' -benchtime=$(FLIGHT_BENCHTIME) -run='^$$' ./internal/harness; } \
 	| $(GO) run ./cmd/benchjson -check BENCH_sweep.json \
 		-tol ns/op=0.35 -tol us/subframe=0.35 -tol us/stage=0.35 \
-		-tol shards/s=0.35 -tol subframes/s=0.35 -tol B/op=1.0
+		-tol shards/s=0.35 -tol subframes/s=0.35 -tol B/op=1.0 \
+		-tol 'armed/disabled=0.05'
 
 # profile-phy captures a CPU profile of the end-to-end PHY benchmark — the
 # workflow behind the fast-path optimizations (constituent fusion, twiddle
@@ -137,6 +144,12 @@ baselines:
 baselines-full:
 	$(GO) run ./cmd/rtopex -all -parallel -skip-measured \
 		-out testdata/baselines/full.jsonl >/dev/null
+
+# flight-smoke proves the miss-forensics pipeline end-to-end: a jittery
+# RT-OPEX run with the flight recorder armed must spool at least one miss
+# dossier, and rtoptrace -dossier must render its post-mortem.
+flight-smoke:
+	sh scripts/flight-smoke.sh
 
 # fleet-smoke proves the distributed sweep fleet end-to-end: a coordinator
 # plus two workers (one SIGKILLed mid-sweep, forcing a lease reclaim) must

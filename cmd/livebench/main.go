@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"time"
 
+	"rtopex/internal/flight"
 	"rtopex/internal/obs"
 	"rtopex/internal/realtime"
 	"rtopex/internal/stats"
@@ -42,6 +43,7 @@ func main() {
 		httpAddr  = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060) during the run")
 		pushAddr  = flag.String("push", "", "stream registry snapshots to the obscollect collector at this address (host:port)")
 		pushEvery = flag.Duration("push-interval", 2*time.Second, "interval between pushes for -push")
+		flightDir = flag.String("flight", "", "arm the deadline-miss flight recorder and spool dossiers into this directory")
 	)
 	flag.Parse()
 
@@ -50,10 +52,27 @@ func main() {
 	// stream, whether or not -http exposes them. A Go-runtime sampler adds
 	// GC pause and heap series — the jitter sources the caveat below names.
 	reg := obs.NewRegistry()
-	stopSampler := obs.StartRuntimeSampler(reg, time.Second)
-	defer stopSampler()
+	sampler := obs.StartRuntime(reg, time.Second)
+	defer sampler.Stop()
+
+	// -flight arms the miss flight recorder: every deadline miss, drop or
+	// arena failure freezes a dossier into the spool, and the -http surface
+	// gains /dossiers and the /events SSE stream.
+	var rec *flight.Recorder
+	if *flightDir != "" {
+		spool, err := flight.NewSpool(flight.SpoolConfig{Dir: *flightDir})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "livebench: -flight: %v\n", err)
+			os.Exit(1)
+		}
+		rec = flight.New(flight.Config{Spool: spool, Registry: reg})
+	}
 	if *httpAddr != "" {
-		bound, stop, err := obs.Serve(*httpAddr, reg)
+		var extra []obs.Route
+		if rec != nil {
+			extra = rec.Routes()
+		}
+		bound, stop, err := obs.Serve(*httpAddr, reg, extra...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "livebench: -http: %v\n", err)
 			os.Exit(1)
@@ -102,6 +121,7 @@ func main() {
 		Seed:          *seed,
 		Tracer:        acct,
 		Obs:           reg,
+		Flight:        rec,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "livebench: %v\n", err)
@@ -134,13 +154,19 @@ func main() {
 
 	// Final Go-runtime sample: the GC/heap series the -http endpoint serves.
 	obs.SampleRuntime(reg)
-	if g := reg.Gauge("go_gc_cycles_total"); g.IsSet() {
+	if g := reg.Gauge("rtopex_go_gc_cycles_total"); g.IsSet() {
 		fmt.Printf("\ngo runtime: %d GC cycles, heap %.1f MB live",
-			int64(g.Value()), reg.Gauge("go_heap_objects_bytes").Value()/1e6)
-		if p := reg.Gauge("go_gc_pause_seconds", obs.L("q", "0.99")); p.IsSet() {
+			int64(g.Value()), reg.Gauge("rtopex_go_heap_objects_bytes").Value()/1e6)
+		if p := reg.Gauge("rtopex_go_gc_pause_seconds", obs.L("q", "0.99")); p.IsSet() {
 			fmt.Printf(", GC pause p99 %.2f ms", p.Value()*1e3)
 		}
 		fmt.Println()
+	}
+
+	if rec != nil {
+		rec.Close()
+		fmt.Printf("\nflight recorder: %d trigger(s), %d dossier(s) spooled to %s, %d suppressed\n",
+			rec.Triggers(), rec.Written(), *flightDir, rec.Suppressed())
 	}
 
 	fmt.Println("\ncaveat: Go's GC and scheduler inject milliseconds of jitter; the paper's")

@@ -15,15 +15,21 @@
 //	               occupancy, per-experiment miss rates, per-core load)
 //	GET  /sources  per-source push ledger
 //	GET  /dump     full state as JSON
+//	POST /dossiers/push   miss-dossier ingest (sweepworker -flight-ship)
+//	GET  /dossiers[/<id>] stored dossier listing / document
+//	GET  /healthz /readyz liveness and readiness probes (unauthenticated)
 //
-// With -auth-token (or $RTOPEX_AUTH_TOKEN) every endpoint requires the
-// matching bearer token; pushers send it via `rtopex -push` / `sweepworker
-// -push` with the same flag or env var.
+// With -auth-token (or $RTOPEX_AUTH_TOKEN) every endpoint except the
+// health probes requires the matching bearer token; pushers send it via
+// `rtopex -push` / `sweepworker -push` with the same flag or env var.
 //
 // Sources that stop pushing without a final snapshot (crashed workers) are
 // evicted after -stale of silence. On SIGINT/SIGTERM the final merged
-// snapshot is flushed to -final as JSON for archival, then the process
-// exits.
+// snapshot is flushed to -final as JSON, and any dossiers workers shipped
+// are flushed to -dossier-dir, for archival; then the process exits.
+//
+// Logs are structured (log/slog); -log-format {text,json} and -log-level
+// select the handler shared by all fleet daemons.
 package main
 
 import (
@@ -41,23 +47,29 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", ":9090", "address to serve on (use 127.0.0.1:0 for an ephemeral port)")
-		stale    = flag.Duration("stale", time.Minute, "evict non-final sources silent longer than this (0 = never)")
-		final    = flag.String("final", "", "flush the merged snapshot to this JSON file on shutdown")
-		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
-		token    = flag.String("auth-token", "", "require this bearer token on every endpoint (default $RTOPEX_AUTH_TOKEN)")
-		quiet    = flag.Bool("quiet", false, "suppress per-source log lines")
+		listen     = flag.String("listen", ":9090", "address to serve on (use 127.0.0.1:0 for an ephemeral port)")
+		stale      = flag.Duration("stale", time.Minute, "evict non-final sources silent longer than this (0 = never)")
+		final      = flag.String("final", "", "flush the merged snapshot to this JSON file on shutdown")
+		dossierDir = flag.String("dossier-dir", "", "flush dossiers shipped by workers to this directory on shutdown")
+		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+		token      = flag.String("auth-token", "", "require this bearer token on every endpoint (default $RTOPEX_AUTH_TOKEN)")
+		quiet      = flag.Bool("quiet", false, "suppress per-source log lines")
 	)
+	logCfg := obs.LogFlags(nil)
 	flag.Parse()
 
-	logf := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "obscollect: "+format+"\n", args...)
+	logger, err := logCfg.Logger("obscollect", nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obscollect: %v\n", err)
+		os.Exit(2)
 	}
+	logf := obs.Printf(logger)
 	clogf := logf
 	if *quiet {
 		clogf = nil
 	}
 	col := obs.NewCollector(obs.CollectorConfig{Stale: *stale, Logf: clogf})
+	dossiers := obs.NewDossierStore(obs.DossierStoreConfig{Logf: clogf})
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -76,9 +88,18 @@ func main() {
 	if authToken != "" {
 		auth = "bearer-token"
 	}
-	logf("listening on http://%s/ (%s: push, metrics, sources, dump)", bound, auth)
+	logf("listening on http://%s/ (%s: push, metrics, sources, dump, dossiers)", bound, auth)
 
-	srv := &http.Server{Handler: obs.BearerAuth(authToken, col.Handler())}
+	// Health probes stay unauthenticated (orchestrator probes carry no
+	// token); collector and dossier endpoints sit behind the bearer gate.
+	// Construction precedes serving, so /readyz is ready as soon as it
+	// answers.
+	mux := http.NewServeMux()
+	obs.MountHealth(mux, nil)
+	mux.Handle("/dossiers", obs.BearerAuth(authToken, dossiers.Handler()))
+	mux.Handle("/dossiers/", obs.BearerAuth(authToken, dossiers.Handler()))
+	mux.Handle("/", obs.BearerAuth(authToken, col.Handler()))
+	srv := &http.Server{Handler: mux}
 	go func() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			logf("serve: %v", err)
@@ -119,5 +140,12 @@ func main() {
 			os.Exit(1)
 		}
 		logf("flushed merged snapshot (%d source(s)) to %s", len(col.Sources()), *final)
+	}
+	if *dossierDir != "" && dossiers.Len() > 0 {
+		if err := dossiers.WriteDir(*dossierDir); err != nil {
+			logf("dossier-dir: %v", err)
+			os.Exit(1)
+		}
+		logf("flushed %d dossier(s) to %s", dossiers.Len(), *dossierDir)
 	}
 }

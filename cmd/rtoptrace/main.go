@@ -7,15 +7,21 @@
 // Usage:
 //
 //	rtoptrace -run [-subframes 1000] [-rtt2 550] [-spread 120] [-seed 7]
-//	          [-out trace.json] [-metrics metrics.json]
+//	          [-out trace.json] [-metrics metrics.json] [-flight dossierdir]
 //	rtoptrace -in trace.json [-from 0] [-to 20000] [-res 200]
 //	rtoptrace -in trace.json -job 2:17
 //	rtoptrace -in trace.json -misses 5
 //	rtoptrace -in trace.json -chrome trace-chrome.json
+//	rtoptrace -dossier dossierdir/dossier-000001-deadline-miss.json
 //
 // -run simulates RT-OPEX on the paper's 4-basestation workload with a
 // jittery transport (early arrivals trigger batch preemptions), exports the
-// trace, and renders it. -in loads a previously exported trace.
+// trace, and renders it. -in loads a previously exported trace. -flight
+// arms the deadline-miss flight recorder during -run, spooling a miss
+// dossier per trigger into the given directory; -dossier renders one such
+// dossier as a human-readable post-mortem (stage timeline, slack budget
+// per stage against the deadline, migration and scheduler state at the
+// trigger).
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"sort"
 	"strings"
 
+	"rtopex/internal/flight"
 	"rtopex/internal/harness"
 	"rtopex/internal/lte"
 	"rtopex/internal/model"
@@ -51,14 +58,27 @@ func main() {
 		job       = flag.String("job", "", "print the event chain of one subframe, as bs:index")
 		misses    = flag.Int("misses", 0, "explain the first N missed subframes")
 		chrome    = flag.String("chrome", "", "also export the trace as Chrome trace_event JSON (chrome://tracing, Perfetto)")
+		flightDir = flag.String("flight", "", "arm the flight recorder during -run, spooling miss dossiers into this directory")
+		dossier   = flag.String("dossier", "", "render one miss dossier file as a post-mortem and exit")
 	)
 	flag.Parse()
+
+	if *dossier != "" {
+		d, err := flight.ReadDossierFile(*dossier)
+		if err != nil {
+			fail(err)
+		}
+		if err := flight.WritePostMortem(os.Stdout, d); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	var log *trace.EventLog
 	switch {
 	case *run:
 		var err error
-		log, err = tracedRun(*subframes, *rtt2, *spread, *seed, *out, *metrics)
+		log, err = tracedRun(*subframes, *rtt2, *spread, *seed, *out, *metrics, *flightDir)
 		if err != nil {
 			fail(err)
 		}
@@ -120,8 +140,9 @@ func (u uniformTransport) Sample(r *stats.RNG) float64 {
 
 // tracedRun simulates RT-OPEX on the paper's evaluation workload with an
 // unbounded event ring, exports the trace (and optionally metrics), and
-// returns the log for rendering.
-func tracedRun(subframes int, rtt2, spread float64, seed uint64, outPath, metricsPath string) (*trace.EventLog, error) {
+// returns the log for rendering. A non-empty flightDir arms the flight
+// recorder with a spool in that directory.
+func tracedRun(subframes int, rtt2, spread float64, seed uint64, outPath, metricsPath, flightDir string) (*trace.EventLog, error) {
 	w, err := sched.BuildWorkload(sched.WorkloadConfig{
 		Basestations: 4, Subframes: subframes, Antennas: 2, Bandwidth: lte.BW10MHz,
 		SNRdB: 30, Lm: 4,
@@ -134,7 +155,20 @@ func tracedRun(subframes int, rtt2, spread float64, seed uint64, outPath, metric
 	if err != nil {
 		return nil, err
 	}
-	res, err := harness.TracedRun(w, sched.NewRTOPEX(2), 8, 0)
+	var rec *flight.Recorder
+	if flightDir != "" {
+		spool, err := flight.NewSpool(flight.SpoolConfig{Dir: flightDir})
+		if err != nil {
+			return nil, err
+		}
+		rec = flight.New(flight.Config{Spool: spool})
+	}
+	res, err := harness.TracedRunObserved(w, sched.NewRTOPEX(2), 8, 0, nil, rec)
+	if rec != nil {
+		rec.Close()
+		fmt.Printf("flight recorder: %d trigger(s), %d dossier(s) spooled to %s, %d suppressed\n",
+			rec.Triggers(), rec.Written(), flightDir, rec.Suppressed())
+	}
 	if err != nil {
 		return nil, err
 	}

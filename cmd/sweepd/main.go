@@ -14,12 +14,18 @@
 //	GET  /            text status page (units, workers, leases, failures)
 //	GET  /state.json  machine-readable status
 //	GET  /metrics     rtopex_fleet_* lease/reclaim/liveness counters
+//	POST /dossiers/push   miss-dossier ingest from sweepworker -flight-ship
+//	GET  /dossiers[/<id>] stored dossier listing / document
+//	GET  /healthz /readyz liveness and readiness probes (unauthenticated)
 //
-// With -auth-token (or $RTOPEX_AUTH_TOKEN) every endpoint requires the
-// matching bearer token. The artifact store a fleet sweep produces is
-// byte-identical (modulo line order) to a serial sweep.Run of the same
-// spec — scripts/fleet-smoke.sh proves it in CI with a worker SIGKILLed
-// mid-sweep.
+// With -auth-token (or $RTOPEX_AUTH_TOKEN) every endpoint except the
+// health probes requires the matching bearer token. The artifact store a
+// fleet sweep produces is byte-identical (modulo line order) to a serial
+// sweep.Run of the same spec — scripts/fleet-smoke.sh proves it in CI with
+// a worker SIGKILLed mid-sweep.
+//
+// Logs are structured (log/slog); -log-format {text,json} and -log-level
+// select the handler shared by all fleet daemons.
 package main
 
 import (
@@ -39,17 +45,18 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", ":7600", "address to serve the lease protocol on (use 127.0.0.1:0 for an ephemeral port)")
-		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
-		out      = flag.String("out", "", "merge completed records into this JSON-lines store")
-		resume   = flag.Bool("resume", false, "skip units whose config hash already has a record in -out")
-		leaseTTL = flag.Duration("lease-ttl", 30*time.Second, "re-lease a unit if its worker is silent this long")
-		attempts = flag.Int("max-attempts", 3, "lease grants per unit before it fails permanently")
-		baseline = flag.String("baseline", "", "compare the merged store against this baseline on completion; exit 1 on drift")
-		token    = flag.String("auth-token", "", "require this bearer token on every endpoint (default $RTOPEX_AUTH_TOKEN)")
-		wait     = flag.Duration("wait", 0, "exit 1 if the sweep has not resolved after this long (0 = wait forever)")
-		linger   = flag.Duration("linger", 2*time.Second, "keep serving 'done' responses this long after the sweep resolves so idle workers exit cleanly")
-		quiet    = flag.Bool("quiet", false, "suppress per-lease log lines")
+		listen     = flag.String("listen", ":7600", "address to serve the lease protocol on (use 127.0.0.1:0 for an ephemeral port)")
+		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+		out        = flag.String("out", "", "merge completed records into this JSON-lines store")
+		resume     = flag.Bool("resume", false, "skip units whose config hash already has a record in -out")
+		leaseTTL   = flag.Duration("lease-ttl", 30*time.Second, "re-lease a unit if its worker is silent this long")
+		attempts   = flag.Int("max-attempts", 3, "lease grants per unit before it fails permanently")
+		baseline   = flag.String("baseline", "", "compare the merged store against this baseline on completion; exit 1 on drift")
+		token      = flag.String("auth-token", "", "require this bearer token on every endpoint (default $RTOPEX_AUTH_TOKEN)")
+		wait       = flag.Duration("wait", 0, "exit 1 if the sweep has not resolved after this long (0 = wait forever)")
+		linger     = flag.Duration("linger", 2*time.Second, "keep serving 'done' responses this long after the sweep resolves so idle workers exit cleanly")
+		dossierDir = flag.String("dossier-dir", "", "flush dossiers shipped by workers to this directory on exit")
+		quiet      = flag.Bool("quiet", false, "suppress per-lease log lines")
 
 		exp       = flag.String("exp", "", "comma-separated experiment ids (default: whole registry)")
 		all       = flag.Bool("all", false, "sweep every registered experiment (the default when -exp is empty)")
@@ -66,12 +73,16 @@ func main() {
 		tolSpecs = append(tolSpecs, s)
 		return nil
 	})
+	logCfg := obs.LogFlags(nil)
 	flag.Parse()
 	_ = all // -all is the default; the flag exists for symmetry with rtopex
 
-	logf := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "sweepd: "+format+"\n", args...)
+	logger, err := logCfg.Logger("sweepd", nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweepd: %v\n", err)
+		os.Exit(2)
 	}
+	logf := obs.Printf(logger)
 	clogf := logf
 	if *quiet {
 		clogf = nil
@@ -122,7 +133,22 @@ func main() {
 		}
 	}
 	authToken := obs.AuthTokenFromEnv(*token)
-	srv := &http.Server{Handler: obs.BearerAuth(authToken, coord.Handler())}
+
+	// Workers ship miss dossiers here (sweepworker -flight-ship); the store
+	// keeps them bounded and serves them back for post-mortems.
+	dossiers := obs.NewDossierStore(obs.DossierStoreConfig{Logf: clogf})
+
+	// Health probes stay unauthenticated (orchestrator probes carry no
+	// token); everything else — worker protocol, status pages, dossier
+	// store — sits behind the bearer gate. Readiness holds once the
+	// coordinator is constructed (store writable, lease ledger loaded),
+	// which precedes serving, so /readyz is ready as soon as it answers.
+	mux := http.NewServeMux()
+	obs.MountHealth(mux, nil)
+	mux.Handle("/dossiers", obs.BearerAuth(authToken, dossiers.Handler()))
+	mux.Handle("/dossiers/", obs.BearerAuth(authToken, dossiers.Handler()))
+	mux.Handle("/", obs.BearerAuth(authToken, coord.Handler()))
+	srv := &http.Server{Handler: mux}
 	go func() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			logf("serve: %v", err)
@@ -150,6 +176,13 @@ func main() {
 	if err := coord.Close(); err != nil {
 		logf("store: %v", err)
 		os.Exit(1)
+	}
+	if *dossierDir != "" && dossiers.Len() > 0 {
+		if err := dossiers.WriteDir(*dossierDir); err != nil {
+			logf("dossier-dir: %v", err)
+			os.Exit(1)
+		}
+		logf("flushed %d dossier(s) to %s", dossiers.Len(), *dossierDir)
 	}
 
 	s := coord.Summary()

@@ -6,14 +6,25 @@
 //
 //	sweepworker -coordinator host:7600 -workers 4
 //	sweepworker -coordinator host:7600 -push collector:9090   # live obs
+//	sweepworker -coordinator host:7600 -flight-spool /tmp/fl  # miss forensics
 //
 // -push streams this worker's registry (per-unit counters plus each
-// finished table's summary gauges) to a cmd/obscollect collector, the same
-// passthrough `rtopex -push` offers; -auth-token (or $RTOPEX_AUTH_TOKEN)
-// is sent as a bearer token to both the coordinator and the collector.
-// Unit results are byte-identical to what a serial sweep.Run would record:
-// the lease carries the unit's derived seed inside its resolved options,
-// so nothing about this process's identity leaks into the artifact.
+// finished table's summary gauges and rtopex_go_* runtime series) to a
+// cmd/obscollect collector, the same passthrough `rtopex -push` offers;
+// -auth-token (or $RTOPEX_AUTH_TOKEN) is sent as a bearer token to the
+// coordinator, the collector and the dossier push path.
+//
+// -flight-spool arms the process-wide deadline-miss flight recorder
+// (sched.ArmFlight): every leased unit's run records miss dossiers into
+// the spool directory, and -flight-ship (default: the -push address)
+// streams them to the daemon's /dossiers/push endpoint as they appear.
+// Recording is forensic only — unit results stay byte-identical to what a
+// serial sweep.Run would record: the lease carries the unit's derived seed
+// inside its resolved options, so nothing about this process's identity
+// leaks into the artifact.
+//
+// Logs are structured (log/slog); -log-format {text,json} and -log-level
+// select the handler shared by all fleet daemons.
 package main
 
 import (
@@ -24,7 +35,9 @@ import (
 	"time"
 
 	"rtopex/internal/fleet"
+	"rtopex/internal/flight"
 	"rtopex/internal/obs"
+	"rtopex/internal/sched"
 )
 
 func main() {
@@ -34,13 +47,19 @@ func main() {
 		name        = flag.String("name", "", "worker id on the coordinator's status page (default hostname-pid)")
 		token       = flag.String("auth-token", "", "bearer token for the coordinator and collector (default $RTOPEX_AUTH_TOKEN)")
 		pushAddr    = flag.String("push", "", "also stream registry snapshots to the obscollect collector at this address")
+		flightDir   = flag.String("flight-spool", "", "arm the deadline-miss flight recorder and spool dossiers into this directory")
+		flightShip  = flag.String("flight-ship", "", "ship spooled dossiers to this daemon's /dossiers/push (default: the -push address)")
 		quiet       = flag.Bool("quiet", false, "suppress per-unit log lines")
 	)
+	logCfg := obs.LogFlags(nil)
 	flag.Parse()
 
-	logf := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "sweepworker: "+format+"\n", args...)
+	logger, err := logCfg.Logger("sweepworker", nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweepworker: %v\n", err)
+		os.Exit(2)
 	}
+	logf := obs.Printf(logger)
 	wlogf := logf
 	if *quiet {
 		wlogf = nil
@@ -55,6 +74,10 @@ func main() {
 		n = runtime.NumCPU()
 	}
 	authToken := obs.AuthTokenFromEnv(*token)
+	source := obs.DefaultSource(obs.L("role", "sweepworker"))
+	if *name != "" {
+		source.ID = *name
+	}
 
 	var reg *obs.Registry
 	var pusher *obs.Pusher
@@ -63,13 +86,49 @@ func main() {
 		var err error
 		pusher, err = obs.NewPusher(obs.PusherConfig{
 			Addr:      *pushAddr,
-			Source:    obs.DefaultSource(obs.L("role", "sweepworker")),
+			Source:    source,
 			AuthToken: authToken,
 			Logf:      logf,
 		})
 		if err != nil {
 			logf("-push: %v", err)
 			os.Exit(1)
+		}
+		// The runtime sampler feeds the pushed registry, so the collector
+		// sees this worker's rtopex_go_* heap/GC/goroutine series live.
+		sampler := obs.StartRuntime(reg, time.Second)
+		defer sampler.Stop()
+	}
+
+	// -flight-spool arms the process-wide recorder: every unit run by this
+	// worker tees a flight tap and freezes miss dossiers into the spool.
+	var rec *flight.Recorder
+	var shipStop func()
+	if *flightDir != "" {
+		spool, err := flight.NewSpool(flight.SpoolConfig{Dir: *flightDir})
+		if err != nil {
+			logf("-flight-spool: %v", err)
+			os.Exit(1)
+		}
+		rec = flight.New(flight.Config{Spool: spool, Registry: reg})
+		disarm := sched.ArmFlight(rec)
+		defer disarm()
+		shipAddr := *flightShip
+		if shipAddr == "" {
+			shipAddr = *pushAddr
+		}
+		if shipAddr != "" {
+			shipper, err := flight.NewShipper(flight.ShipperConfig{
+				Addr:      shipAddr,
+				Source:    source.ID,
+				AuthToken: authToken,
+				Logf:      logf,
+			})
+			if err != nil {
+				logf("-flight-ship: %v", err)
+				os.Exit(1)
+			}
+			shipStop = shipper.StartPeriodic(spool, 2*time.Second)
 		}
 	}
 
@@ -83,6 +142,14 @@ func main() {
 		Obs:         reg,
 		Push:        pusher,
 	})
+	if rec != nil {
+		rec.Close() // flush pending dossiers before the final ship
+		if shipStop != nil {
+			shipStop()
+		}
+		logf("flight recorder: %d trigger(s), %d dossier(s) spooled, %d suppressed",
+			rec.Triggers(), rec.Written(), rec.Suppressed())
+	}
 	if res != nil {
 		logf("done in %.1fs: %d completed, %d duplicates, %d failed",
 			time.Since(start).Seconds(), res.Completed, res.Duplicates, res.Failed)

@@ -1,0 +1,45 @@
+package flight_test
+
+import (
+	"testing"
+
+	"rtopex/internal/flight"
+	"rtopex/internal/trace"
+)
+
+// BenchmarkTapEmit is the armed per-event hot path in isolation: one ring
+// store plus trigger classification for a non-trigger event. The run-level
+// armed-overhead gate lives in internal/harness (BenchmarkFlightRecorderArmed).
+func BenchmarkTapEmit(b *testing.B) {
+	rec := flight.New(flight.Config{})
+	defer rec.Close()
+	tap := rec.NewTap(flight.TapConfig{})
+	e := trace.Event{Time: 1, Core: 3, BS: 1, Subframe: 5, Event: trace.EvPhase, Detail: "fft"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Time = float64(i)
+		tap.Emit(e)
+	}
+}
+
+// BenchmarkCapture is the cost of one admitted trigger: merging nine full
+// core rings into a time-ordered window and freezing the dossier. This is
+// the price the MaxPerSec rate limiter budgets, paid per capture, never
+// per event.
+func BenchmarkCapture(b *testing.B) {
+	rec := flight.New(flight.Config{MaxPerSec: -1, MaxDossiers: -1, PostEvents: -1, Keep: 1})
+	defer rec.Close()
+	tap := rec.NewTap(flight.TapConfig{})
+	for c := -1; c < 8; c++ {
+		for i := 0; i < 128; i++ {
+			tap.Emit(trace.Event{Time: float64(i), Core: c, Event: trace.EvPhase, Detail: "fft"})
+		}
+	}
+	miss := trace.Event{Time: 9999, Core: 3, BS: 1, Subframe: 5, Event: trace.EvFinish, Detail: "late"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tap.Emit(miss)
+	}
+}

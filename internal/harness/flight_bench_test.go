@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"runtime"
+	"slices"
+	"testing"
+	"time"
+
+	"rtopex/internal/flight"
+	"rtopex/internal/lte"
+	"rtopex/internal/model"
+	"rtopex/internal/sched"
+	"rtopex/internal/trace"
+)
+
+// benchWorkload is jitteryWorkload without the testing.T plumbing: a
+// 4-BS run under transport jitter aggressive enough to produce deadline
+// misses, so the armed benchmark pays the recorder's trigger path, not
+// just its ring stores.
+func benchWorkload(b *testing.B, subframes int) *sched.Workload {
+	b.Helper()
+	w, err := sched.BuildWorkload(sched.WorkloadConfig{
+		Basestations: 4, Subframes: subframes, Antennas: 2, Bandwidth: lte.BW10MHz,
+		SNRdB: 30, Lm: 4,
+		Params: model.PaperGPP, Jitter: model.DefaultJitter, IterLaw: model.DefaultIterationLaw,
+		Profiles: trace.DefaultProfiles, FixedMCS: -1,
+		Transport:      uniformTransport{mean: 650, spread: 160},
+		ExpectedRTT2US: 650,
+		Seed:           7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkFlightRecorderDisabled is the baseline: the traced run with no
+// recorder armed.
+func BenchmarkFlightRecorderDisabled(b *testing.B) {
+	w := benchWorkload(b, 400)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TracedRunObserved(w, sched.NewRTOPEX(2), 8, 0, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFlightRecorderArmed is the armed-overhead gate: the identical
+// workload with the flight recorder armed — per-event ring stores plus
+// trigger classification on the hot path, captures rate-limited to the
+// recorder's default budget. Each iteration interleaves a disabled run
+// (timer stopped) with an armed run (timer running), so ns/op is the armed
+// cost and the reported armed/disabled ratio is a same-process paired
+// measurement immune to machine-level drift between separate benchmark
+// invocations. The ratio is median-over-median so a stray GC cycle landing
+// in one iteration cannot skew the gate. bench-check holds it to ±5% of
+// its committed baseline (≈1.0) — the recorder's bounded-overhead
+// contract.
+func BenchmarkFlightRecorderArmed(b *testing.B) {
+	w := benchWorkload(b, 400)
+	rec := flight.New(flight.Config{})
+	defer rec.Close()
+	disabled := make([]time.Duration, 0, b.N)
+	armed := make([]time.Duration, 0, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ms runtime.MemStats
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// StartTimer below reads memstats (flushing allocator caches) right
+		// before the armed run; read them here too so both sides of the
+		// pair start from the same allocator state.
+		runtime.ReadMemStats(&ms)
+		t0 := time.Now()
+		if _, err := TracedRunObserved(w, sched.NewRTOPEX(2), 8, 0, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+		disabled = append(disabled, time.Since(t0))
+		b.StartTimer()
+		t0 = time.Now()
+		if _, err := TracedRunObserved(w, sched.NewRTOPEX(2), 8, 0, nil, rec); err != nil {
+			b.Fatal(err)
+		}
+		armed = append(armed, time.Since(t0))
+	}
+	b.StopTimer()
+	ratios := make([]float64, 0, len(armed))
+	for i := range armed {
+		if disabled[i] > 0 {
+			ratios = append(ratios, float64(armed[i])/float64(disabled[i]))
+		}
+	}
+	if len(ratios) > 0 {
+		slices.Sort(ratios)
+		b.ReportMetric(ratios[len(ratios)/2], "armed/disabled")
+	}
+}

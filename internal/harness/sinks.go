@@ -12,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"rtopex/internal/flight"
 	"rtopex/internal/obs"
 	"rtopex/internal/platform"
 	"rtopex/internal/sched"
@@ -49,15 +50,18 @@ type RunResult struct {
 // the given capacity attached (ringCap ≤ 0 retains every event) and engine
 // instrumentation enabled.
 func TracedRun(w *sched.Workload, s sched.Scheduler, cores, ringCap int) (*RunResult, error) {
-	return TracedRunObserved(w, s, cores, ringCap, nil)
+	return TracedRunObserved(w, s, cores, ringCap, nil, nil)
 }
 
-// TracedRunObserved is TracedRun with an optional live registry: the run's
-// trace stream additionally drives a per-core utilization accountant, the
-// engine hook fans out to the registry's event counters, and the finished
-// metrics are published under the scheduler's label. reg may be nil, which
-// skips the registry publishing but still computes Utilization.
-func TracedRunObserved(w *sched.Workload, s sched.Scheduler, cores, ringCap int, reg *obs.Registry) (*RunResult, error) {
+// TracedRunObserved is TracedRun with an optional live registry and an
+// optional flight recorder: the run's trace stream additionally drives a
+// per-core utilization accountant, the engine hook fans out to the
+// registry's event counters, and the finished metrics are published under
+// the scheduler's label. reg may be nil, which skips the registry
+// publishing but still computes Utilization. rec, when non-nil, arms the
+// deadline-miss flight recorder; the run's own accountant supplies the
+// dossiers' core fractions, so arming adds no second accounting pass.
+func TracedRunObserved(w *sched.Workload, s sched.Scheduler, cores, ringCap int, reg *obs.Registry, rec *flight.Recorder) (*RunResult, error) {
 	ring := trace.NewRing(ringCap)
 	acct := obs.NewCoreAccountant()
 	res := &RunResult{}
@@ -65,11 +69,18 @@ func TracedRunObserved(w *sched.Workload, s sched.Scheduler, cores, ringCap int,
 	if reg != nil {
 		hook = platform.Hooks(&res.Engine, obs.NewEngineHook(reg))
 	}
-	m, err := sched.RunConfigured(w, s, sched.RunConfig{
+	rc := sched.RunConfig{
 		Cores:      cores,
 		Tracer:     trace.Tee(ring, acct),
 		EngineHook: hook,
-	})
+	}
+	if rec != nil {
+		rc.Flight = rec
+		rc.FlightReports = func(endUS float64) []obs.CoreReport {
+			return acct.Reports(cores, endUS)
+		}
+	}
+	m, err := sched.RunConfigured(w, s, rc)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// DossierPushPath is the endpoint fleet workers POST miss dossiers to
+// (sweepd and obscollect both mount a DossierStore there, behind the same
+// bearer auth as the snapshot push path).
+const DossierPushPath = "/dossiers/push"
+
+// DossierSourceHeader names the header carrying the pushing worker's
+// identity on dossier pushes.
+const DossierSourceHeader = "X-Rtopex-Dossier-Source"
+
+// DossierStoreConfig bounds a DossierStore.
+type DossierStoreConfig struct {
+	// MaxDossiers caps the stored count (default 256; < 0 disables).
+	MaxDossiers int
+	// MaxBytes caps total stored bytes (default 32 MiB; < 0 disables).
+	MaxBytes int64
+	// MaxItemBytes rejects oversized single dossiers (default 4 MiB).
+	MaxItemBytes int64
+	// Logf, when non-nil, receives ingest log lines.
+	Logf func(format string, args ...any)
+}
+
+// DossierMeta is the listing form of one stored dossier.
+type DossierMeta struct {
+	// ID is the store's own ingest sequence (the /dossiers/<id> key).
+	ID int64 `json:"id"`
+	// Source identifies the worker that shipped it.
+	Source string `json:"source,omitempty"`
+	// Label/Trigger/Seq are lifted from the dossier document for listing.
+	Label   string `json:"label,omitempty"`
+	Trigger string `json:"trigger,omitempty"`
+	Seq     uint64 `json:"seq,omitempty"`
+	Bytes   int    `json:"bytes"`
+}
+
+// DossierStore collects miss dossiers shipped from fleet workers. The obs
+// package treats dossiers as opaque versioned JSON (internal/flight owns
+// the schema; rtoptrace -dossier renders them), validating only that a
+// push is a JSON object carrying a flight_version — so the fleet plane
+// never needs to parse forensics it only transports. Oldest dossiers are
+// evicted once either cap is exceeded, mirroring the worker-side spool.
+type DossierStore struct {
+	mu      sync.Mutex
+	cfg     DossierStoreConfig
+	items   []storedDossier // oldest first
+	bytes   int64
+	nextID  int64
+	evicted int64
+}
+
+type storedDossier struct {
+	meta DossierMeta
+	raw  []byte
+}
+
+// NewDossierStore creates an empty store.
+func NewDossierStore(cfg DossierStoreConfig) *DossierStore {
+	if cfg.MaxDossiers == 0 {
+		cfg.MaxDossiers = 256
+	}
+	if cfg.MaxBytes == 0 {
+		cfg.MaxBytes = 32 << 20
+	}
+	if cfg.MaxItemBytes <= 0 {
+		cfg.MaxItemBytes = 4 << 20
+	}
+	return &DossierStore{cfg: cfg, nextID: 1}
+}
+
+// Ingest validates and stores one dossier document.
+func (s *DossierStore) Ingest(source string, raw []byte) error {
+	if int64(len(raw)) > s.cfg.MaxItemBytes {
+		return fmt.Errorf("obs: dossier too large (%d bytes > %d)", len(raw), s.cfg.MaxItemBytes)
+	}
+	// Transport-level validation only: a JSON object that declares a
+	// flight_version. Schema versions are gated by the reader that actually
+	// interprets the dossier.
+	var probe struct {
+		Version *int   `json:"flight_version"`
+		Label   string `json:"label"`
+		Trigger string `json:"trigger"`
+		Seq     uint64 `json:"seq"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return fmt.Errorf("obs: bad dossier: %v", err)
+	}
+	if probe.Version == nil || *probe.Version < 1 {
+		return fmt.Errorf("obs: dossier missing flight_version")
+	}
+	cp := make([]byte, len(raw))
+	copy(cp, raw)
+	s.mu.Lock()
+	meta := DossierMeta{
+		ID:      s.nextID,
+		Source:  source,
+		Label:   probe.Label,
+		Trigger: probe.Trigger,
+		Seq:     probe.Seq,
+		Bytes:   len(cp),
+	}
+	s.nextID++
+	s.items = append(s.items, storedDossier{meta: meta, raw: cp})
+	s.bytes += int64(len(cp))
+	for len(s.items) > 1 &&
+		((s.cfg.MaxDossiers > 0 && len(s.items) > s.cfg.MaxDossiers) ||
+			(s.cfg.MaxBytes > 0 && s.bytes > s.cfg.MaxBytes)) {
+		s.bytes -= int64(len(s.items[0].raw))
+		s.items = s.items[1:]
+		s.evicted++
+	}
+	logf := s.cfg.Logf
+	s.mu.Unlock()
+	if logf != nil {
+		logf("obs: dossier %d from %s (%s, %d bytes)", meta.ID, source, probe.Trigger, len(cp))
+	}
+	return nil
+}
+
+// List returns the stored dossier metadata, oldest first.
+func (s *DossierStore) List() []DossierMeta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]DossierMeta, len(s.items))
+	for i, it := range s.items {
+		out[i] = it.meta
+	}
+	return out
+}
+
+// Get returns one stored dossier document by store ID.
+func (s *DossierStore) Get(id int64) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, it := range s.items {
+		if it.meta.ID == id {
+			return it.raw, true
+		}
+	}
+	return nil, false
+}
+
+// Len reports the stored dossier count.
+func (s *DossierStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+// Evicted reports dossiers pushed out by the caps.
+func (s *DossierStore) Evicted() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
+}
+
+// WriteDir flushes every stored dossier to dir (one file per dossier,
+// "dossier-<id>-<source>.json"), for archival on daemon shutdown.
+func (s *DossierStore) WriteDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	items := make([]storedDossier, len(s.items))
+	copy(items, s.items)
+	s.mu.Unlock()
+	for _, it := range items {
+		src := sanitizeSource(it.meta.Source)
+		name := fmt.Sprintf("dossier-%06d-%s.json", it.meta.ID, src)
+		if err := os.WriteFile(filepath.Join(dir, name), it.raw, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sanitizeSource(src string) string {
+	if src == "" {
+		return "unknown"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, src)
+}
+
+// Handler returns the store's HTTP surface:
+//
+//	POST /dossiers/push  ingest one dossier (source from the
+//	                     X-Rtopex-Dossier-Source header)
+//	GET  /dossiers       JSON metadata listing
+//	GET  /dossiers/<id>  one raw dossier document
+func (s *DossierStore) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(DossierPushPath, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxItemBytes+1))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.Ingest(r.Header.Get(DossierSourceHeader), raw); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/dossiers", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.List())
+	})
+	mux.HandleFunc("/dossiers/", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseInt(strings.TrimPrefix(r.URL.Path, "/dossiers/"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad dossier id", http.StatusBadRequest)
+			return
+		}
+		raw, ok := s.Get(id)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(raw)
+	})
+	return mux
+}

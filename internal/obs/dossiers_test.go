@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func dossierDoc(seq int, trigger string) []byte {
+	return []byte(fmt.Sprintf(`{"flight_version":1,"seq":%d,"label":"t","trigger":%q,"window":[]}`, seq, trigger))
+}
+
+func TestDossierStoreIngest(t *testing.T) {
+	s := NewDossierStore(DossierStoreConfig{})
+	if err := s.Ingest("w1", dossierDoc(1, "deadline-miss")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	metas := s.List()
+	if metas[0].Source != "w1" || metas[0].Trigger != "deadline-miss" || metas[0].Seq != 1 {
+		t.Fatalf("unexpected meta: %+v", metas[0])
+	}
+	raw, ok := s.Get(metas[0].ID)
+	if !ok || !bytes.Equal(raw, dossierDoc(1, "deadline-miss")) {
+		t.Fatal("stored document altered")
+	}
+
+	// Transport validation: non-JSON, non-object, missing flight_version.
+	for _, bad := range [][]byte{
+		[]byte("not json"),
+		[]byte(`[1,2]`),
+		[]byte(`{"seq":1}`),
+		[]byte(`{"flight_version":0}`),
+	} {
+		if err := s.Ingest("w1", bad); err == nil {
+			t.Fatalf("ingested invalid dossier %q", bad)
+		}
+	}
+	if s.Len() != 1 {
+		t.Fatalf("invalid ingests changed the store (Len %d)", s.Len())
+	}
+}
+
+func TestDossierStoreCaps(t *testing.T) {
+	s := NewDossierStore(DossierStoreConfig{MaxDossiers: 3})
+	for i := 1; i <= 5; i++ {
+		if err := s.Ingest("w", dossierDoc(i, "drop")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 3 || s.Evicted() != 2 {
+		t.Fatalf("Len/Evicted = %d/%d, want 3/2", s.Len(), s.Evicted())
+	}
+	metas := s.List()
+	if metas[0].Seq != 3 {
+		t.Fatalf("oldest surviving seq = %d, want 3", metas[0].Seq)
+	}
+
+	// Oversized single document.
+	big := NewDossierStore(DossierStoreConfig{MaxItemBytes: 16})
+	if err := big.Ingest("w", dossierDoc(1, "drop")); err == nil {
+		t.Fatal("oversized dossier accepted")
+	}
+}
+
+func TestDossierStoreHandler(t *testing.T) {
+	s := NewDossierStore(DossierStoreConfig{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+DossierPushPath, bytes.NewReader(dossierDoc(9, "overrun")))
+	req.Header.Set(DossierSourceHeader, "worker-9")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("push: HTTP %d", resp.StatusCode)
+	}
+
+	// GET on the push path is rejected.
+	resp, err = http.Get(srv.URL + DossierPushPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET push: HTTP %d, want 405", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/dossiers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metas []DossierMeta
+	if err := json.NewDecoder(resp.Body).Decode(&metas); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(metas) != 1 || metas[0].Source != "worker-9" || metas[0].Trigger != "overrun" {
+		t.Fatalf("unexpected listing: %+v", metas)
+	}
+
+	resp, err = http.Get(fmt.Sprintf("%s/dossiers/%d", srv.URL, metas[0].ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if doc["trigger"] != "overrun" {
+		t.Fatalf("unexpected document: %v", doc)
+	}
+
+	resp, _ = http.Get(srv.URL + "/dossiers/404")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing id: HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestDossierStoreWriteDir(t *testing.T) {
+	s := NewDossierStore(DossierStoreConfig{})
+	if err := s.Ingest("host-1:worker/2", dossierDoc(1, "deadline-miss")); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := s.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("wrote %d files, want 1", len(entries))
+	}
+	name := entries[0].Name()
+	if !strings.HasPrefix(name, "dossier-000001-") || strings.ContainsAny(name, ":/") {
+		t.Fatalf("unsanitized archive name %q", name)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, dossierDoc(1, "deadline-miss")) {
+		t.Fatal("archived document altered")
+	}
+}

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Health endpoints shared by the fleet daemons:
+//
+//	/healthz  liveness — 200 as soon as the process serves HTTP
+//	/readyz   readiness — 200 once ready() returns nil (store writable,
+//	          lease ledger loaded, …), 503 with the reason otherwise
+//
+// Both are mounted unauthenticated: an orchestrator's probe has no bearer
+// token, and neither endpoint exposes state beyond up/not-up.
+
+// MountHealth registers /healthz and /readyz on mux. ready may be nil
+// (always ready); otherwise it is called per probe and its error is the
+// 503 body.
+func MountHealth(mux *http.ServeMux, ready func() error) {
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if ready != nil {
+			if err := ready(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
+}

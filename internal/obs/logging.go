@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// Structured logging shared by the fleet daemons (sweepd, sweepworker,
+// obscollect): one flag surface, one handler construction, so fleet logs
+// are machine-parseable alongside miss dossiers. The default stays the
+// slog text format — scripts (fleet-smoke.sh) grep daemon logs, and the
+// text handler keeps `key=value` lines stable for them — while
+// `-log-format json` switches the same records to JSON lines.
+
+// LogConfig carries the shared -log-format/-log-level flag values.
+type LogConfig struct {
+	Format string
+	Level  string
+}
+
+// LogFlags registers -log-format and -log-level on fs (the global flag set
+// when nil) and returns the config the flags fill at Parse time.
+func LogFlags(fs *flag.FlagSet) *LogConfig {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	c := &LogConfig{}
+	fs.StringVar(&c.Format, "log-format", "text", "log output format: text or json")
+	fs.StringVar(&c.Level, "log-level", "info", "minimum log level: debug, info, warn, error")
+	return c
+}
+
+// Logger builds the component's structured logger from the parsed flags,
+// writing to w (stderr when nil). Every record carries a "component"
+// attribute so interleaved fleet logs stay attributable.
+func (c *LogConfig) Logger(component string, w io.Writer) (*slog.Logger, error) {
+	if w == nil {
+		w = os.Stderr
+	}
+	var level slog.Level
+	switch strings.ToLower(c.Level) {
+	case "", "info":
+		level = slog.LevelInfo
+	case "debug":
+		level = slog.LevelDebug
+	case "warn", "warning":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (debug, info, warn, error)", c.Level)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch strings.ToLower(c.Format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (text, json)", c.Format)
+	}
+	l := slog.New(h)
+	if component != "" {
+		l = l.With("component", component)
+	}
+	return l, nil
+}
+
+// Printf adapts a structured logger to the `logf(format, args...)` plumbing
+// the internal packages (sweep, fleet, collector) already take: each line
+// becomes one info-level record with the formatted text as the message.
+func Printf(l *slog.Logger) func(format string, args ...any) {
+	if l == nil {
+		return nil
+	}
+	return func(format string, args ...any) {
+		l.Info(fmt.Sprintf(format, args...))
+	}
+}

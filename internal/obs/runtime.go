@@ -7,28 +7,80 @@ import (
 )
 
 // runtimeSamples maps runtime/metrics names to the gauge names we expose.
-// Kept small on purpose: livebench is a wall-clock benchmark, and the point
-// is catching GC interference (the README's caveat) while it happens, not
-// mirroring the whole runtime.
+// Kept small on purpose: the point is catching GC interference (the README's
+// caveat) while it happens, not mirroring the whole runtime.
 var runtimeSamples = []struct {
 	src, dst string
 	help     string
 }{
-	{"/memory/classes/heap/objects:bytes", "go_heap_objects_bytes", "Bytes of live heap objects."},
-	{"/gc/cycles/total:gc-cycles", "go_gc_cycles_total", "Completed GC cycles."},
-	{"/sched/goroutines:goroutines", "go_goroutines", "Live goroutines."},
-	{"/gc/pauses:seconds", "go_gc_pause_seconds", "Distribution of GC stop-the-world pause times."},
+	{"/memory/classes/heap/objects:bytes", "rtopex_go_heap_objects_bytes", "Bytes of live heap objects."},
+	{"/gc/cycles/total:gc-cycles", "rtopex_go_gc_cycles_total", "Completed GC cycles."},
+	{"/sched/goroutines:goroutines", "rtopex_go_goroutines", "Live goroutines."},
+	{"/gc/pauses:seconds", "rtopex_go_gc_pause_seconds", "Distribution of GC stop-the-world pause times."},
 }
 
-// SampleRuntime reads one round of Go runtime metrics into reg: heap bytes,
-// GC cycles and goroutines as gauges, and the GC pause distribution as
-// p50/p99/max gauges (go_gc_pause_seconds{q="0.5"} …).
-func SampleRuntime(reg *Registry) {
+// RuntimeSnapshot is one point-in-time Go runtime reading: the GC/heap
+// state a miss dossier embeds to answer "did a GC pause land in the
+// window?" — the jitter source the paper's pinned-pthread testbed does not
+// have. Field order and names are part of the dossier schema.
+type RuntimeSnapshot struct {
+	// HeapObjectsBytes is the live heap object footprint.
+	HeapObjectsBytes uint64 `json:"heap_objects_bytes"`
+	// GCCycles counts completed GC cycles since process start.
+	GCCycles uint64 `json:"gc_cycles"`
+	// Goroutines is the live goroutine count.
+	Goroutines uint64 `json:"goroutines"`
+	// GCPauseP50S / GCPauseP99S are stop-the-world pause quantiles in
+	// seconds, over the process-lifetime pause distribution.
+	GCPauseP50S float64 `json:"gc_pause_p50_s"`
+	GCPauseP99S float64 `json:"gc_pause_p99_s"`
+}
+
+// CaptureRuntime reads the runtime metrics behind the rtopex_go_* series
+// into one snapshot. It is cheap enough to call per miss dossier, not per
+// event.
+func CaptureRuntime() RuntimeSnapshot {
+	samples := readRuntime()
+	var snap RuntimeSnapshot
+	for i, s := range samples {
+		switch runtimeSamples[i].src {
+		case "/memory/classes/heap/objects:bytes":
+			if s.Value.Kind() == metrics.KindUint64 {
+				snap.HeapObjectsBytes = s.Value.Uint64()
+			}
+		case "/gc/cycles/total:gc-cycles":
+			if s.Value.Kind() == metrics.KindUint64 {
+				snap.GCCycles = s.Value.Uint64()
+			}
+		case "/sched/goroutines:goroutines":
+			if s.Value.Kind() == metrics.KindUint64 {
+				snap.Goroutines = s.Value.Uint64()
+			}
+		case "/gc/pauses:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				h := s.Value.Float64Histogram()
+				snap.GCPauseP50S = histQuantile(h, 0.5)
+				snap.GCPauseP99S = histQuantile(h, 0.99)
+			}
+		}
+	}
+	return snap
+}
+
+func readRuntime() []metrics.Sample {
 	samples := make([]metrics.Sample, len(runtimeSamples))
 	for i, rs := range runtimeSamples {
 		samples[i].Name = rs.src
 	}
 	metrics.Read(samples)
+	return samples
+}
+
+// SampleRuntime reads one round of Go runtime metrics into reg: heap bytes,
+// GC cycles and goroutines as gauges, and the GC pause distribution as
+// p50/p99 gauges (rtopex_go_gc_pause_seconds{q="0.5"} …).
+func SampleRuntime(reg *Registry) {
+	samples := readRuntime()
 	for i, s := range samples {
 		rs := runtimeSamples[i]
 		switch s.Value.Kind() {
@@ -80,26 +132,41 @@ func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
 	return h.Buckets[len(h.Buckets)-1]
 }
 
-// StartRuntimeSampler samples the runtime into reg every interval until the
-// returned stop func is called. One immediate sample is taken before the
-// ticker starts, so short runs still report.
-func StartRuntimeSampler(reg *Registry, interval time.Duration) (stop func()) {
+// RuntimeSampler periodically publishes the rtopex_go_* series into a
+// registry. Every binary shares this one implementation; the flight
+// recorder reads the same metrics through CaptureRuntime.
+type RuntimeSampler struct {
+	done chan struct{}
+	once sync.Once
+}
+
+// StartRuntime samples the runtime into reg every interval until Stop. One
+// immediate sample is taken before the ticker starts, so short runs still
+// report.
+func StartRuntime(reg *Registry, interval time.Duration) *RuntimeSampler {
 	SampleRuntime(reg)
-	done := make(chan struct{})
+	s := &RuntimeSampler{done: make(chan struct{})}
 	go func() {
 		t := time.NewTicker(interval)
 		defer t.Stop()
 		for {
 			select {
-			case <-done:
+			case <-s.done:
 				return
 			case <-t.C:
 				SampleRuntime(reg)
 			}
 		}
 	}()
-	var once sync.Once
-	return func() {
-		once.Do(func() { close(done) })
-	}
+	return s
+}
+
+// Stop halts the sampler. Safe to call more than once.
+func (s *RuntimeSampler) Stop() {
+	s.once.Do(func() { close(s.done) })
+}
+
+// StartRuntimeSampler is the closure form of StartRuntime.
+func StartRuntimeSampler(reg *Registry, interval time.Duration) (stop func()) {
+	return StartRuntime(reg, interval).Stop
 }

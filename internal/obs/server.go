@@ -10,6 +10,13 @@ import (
 	"sync/atomic"
 )
 
+// Route mounts one extra handler on the obs mux (e.g. the flight
+// recorder's /dossiers and /events surfaces).
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // Handler returns an http.Handler exposing the registry and the standard Go
 // debug surfaces on an owned mux (net/http/pprof's blank import would
 // register on http.DefaultServeMux, which a library must not touch):
@@ -17,7 +24,9 @@ import (
 //	/metrics      Prometheus text format v0.0.4
 //	/debug/vars   expvar JSON (cmdline, memstats, …)
 //	/debug/pprof/ CPU, heap, goroutine, … profiles
-func Handler(reg *Registry) http.Handler {
+//
+// Extra routes are mounted alongside and listed on the index page.
+func Handler(reg *Registry, extra ...Route) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", ContentType)
@@ -29,12 +38,20 @@ func Handler(reg *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	index := "rtopex observability endpoint\n\n/metrics\n/debug/vars\n/debug/pprof/\n"
+	for _, rt := range extra {
+		if rt.Handler == nil || rt.Pattern == "" {
+			continue
+		}
+		mux.Handle(rt.Pattern, rt.Handler)
+		index += rt.Pattern + "\n"
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "rtopex observability endpoint\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprint(w, index)
 	})
 	return mux
 }
@@ -62,17 +79,17 @@ func publishExpvar(reg *Registry) {
 	})
 }
 
-// Serve exposes Handler(reg) on addr (e.g. ":6060" or "127.0.0.1:0") and
-// returns the bound address plus a shutdown func. The listener is up when
-// Serve returns, so a caller can print the address and immediately be
-// scraped.
-func Serve(addr string, reg *Registry) (boundAddr string, stop func(), err error) {
+// Serve exposes Handler(reg, extra...) on addr (e.g. ":6060" or
+// "127.0.0.1:0") and returns the bound address plus a shutdown func. The
+// listener is up when Serve returns, so a caller can print the address and
+// immediately be scraped.
+func Serve(addr string, reg *Registry, extra ...Route) (boundAddr string, stop func(), err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
 	publishExpvar(reg)
-	srv := &http.Server{Handler: Handler(reg)}
+	srv := &http.Server{Handler: Handler(reg, extra...)}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), func() { _ = srv.Close() }, nil
 }

@@ -114,10 +114,10 @@ func TestRuntimeSampler(t *testing.T) {
 	reg := NewRegistry()
 	stop := StartRuntimeSampler(reg, time.Hour) // immediate sample only
 	defer stop()
-	if !reg.Gauge("go_goroutines").IsSet() {
-		t.Fatal("go_goroutines not sampled")
+	if !reg.Gauge("rtopex_go_goroutines").IsSet() {
+		t.Fatal("rtopex_go_goroutines not sampled")
 	}
-	if reg.Gauge("go_heap_objects_bytes").Value() <= 0 {
+	if reg.Gauge("rtopex_go_heap_objects_bytes").Value() <= 0 {
 		t.Fatal("heap bytes should be positive")
 	}
 	stop()

@@ -25,6 +25,7 @@ import (
 
 	"rtopex/internal/bits"
 	"rtopex/internal/channel"
+	"rtopex/internal/flight"
 	"rtopex/internal/lte"
 	"rtopex/internal/obs"
 	"rtopex/internal/phy"
@@ -73,6 +74,11 @@ type Config struct {
 	// histogram, updated as workers finish — the series `livebench -http`
 	// exposes mid-run.
 	Obs *obs.Registry
+	// Flight, when non-nil, arms the deadline-miss flight recorder: a tap
+	// joins the (locked) event stream, and late finishes, queue-full drops
+	// and receiver-arena failures freeze miss dossiers. Works with or
+	// without Tracer.
+	Flight *flight.Recorder
 }
 
 func (c Config) dilation() float64 {
@@ -203,12 +209,43 @@ func Run(cfg Config) (*Stats, error) {
 	if tr != nil && !tr.Enabled() {
 		tr = nil
 	}
-	if tr != nil {
-		tr = trace.Locked(tr)
-	}
 	// epoch anchors every event time; the feeder reuses it as its clock so
 	// traced times and release times share one origin.
 	epoch := time.Now()
+	var tap *flight.Tap
+	if cfg.Flight != nil {
+		budgetUS := budget.Seconds() * 1e6
+		periodUS := period.Seconds() * 1e6
+		tap = cfg.Flight.NewTap(flight.TapConfig{
+			Label:    "realtime",
+			BudgetUS: budgetUS,
+			// The live schedule's release clock is exact: subframe j of every
+			// basestation is released at j·period and must finish within the
+			// dilated 2 ms budget.
+			Job: func(bs, sf int) (float64, float64, bool) {
+				arr := float64(sf) * periodUS
+				return arr, arr + budgetUS, true
+			},
+			State: func() flight.SchedState {
+				st := flight.SchedState{
+					Scheduler:   "realtime",
+					NowUS:       time.Since(epoch).Seconds() * 1e6,
+					QueueDepths: make([]int, len(queues)),
+				}
+				for i, q := range queues {
+					st.QueueDepths[i] = len(q)
+				}
+				return st
+			},
+		})
+		// The tap joins the stream inside the Locked wrapper: worker
+		// threads emit concurrently, and the tap — unsynchronized like
+		// every other sink — relies on that lock for serialization.
+		tr = trace.Tee(tr, tap)
+	}
+	if tr != nil {
+		tr = trace.Locked(tr)
+	}
 	emit := func(at time.Time, core, bs, sf int, kind trace.Kind, detail string) {
 		tr.Emit(trace.Event{
 			Time: at.Sub(epoch).Seconds() * 1e6,
@@ -360,6 +397,9 @@ func Run(cfg Config) (*Stats, error) {
 		close(queues[i])
 	}
 	wg.Wait()
+	if tap != nil {
+		tap.Close()
+	}
 	return st, nil
 }
 
@@ -378,13 +418,13 @@ func runPipelined(cfg Config, core, bs int, queue chan job, pbs []prebuilt, mcsI
 
 	// In-flight bookkeeping: the pipeliner reports completions by tag (the
 	// subframe index, unique per core) on its own goroutines.
-	type flight struct {
+	type inflight struct {
 		idx     int
 		release time.Time
 		start   time.Time
 	}
 	var pmu sync.Mutex
-	fl := make(map[uint64]*flight)
+	fl := make(map[uint64]*inflight)
 	pl, err := phy.NewPipeliner(phy.PipelinerConfig{
 		Arena: arena,
 		Pool:  ppool,
@@ -438,7 +478,7 @@ func runPipelined(cfg Config, core, bs int, queue chan job, pbs []prebuilt, mcsI
 		pb := pbs[mcsIdx[j.idx]]
 		tag := uint64(j.idx)
 		pmu.Lock()
-		fl[tag] = &flight{idx: j.idx, release: j.release}
+		fl[tag] = &inflight{idx: j.idx, release: j.release}
 		pmu.Unlock()
 		if err := pl.Submit(tag, phyConfig(pb.mcs, cfg.Antennas), pb.iq, pb.n0); err != nil {
 			pmu.Lock()

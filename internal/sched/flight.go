@@ -1,0 +1,109 @@
+package sched
+
+import (
+	"sync/atomic"
+
+	"rtopex/internal/flight"
+)
+
+// Flight-recorder integration: a simulation run with a recorder armed —
+// per-run via RunConfig.Flight or process-wide via ArmFlight — tees a
+// flight.Tap into its event stream, so deadline misses, drops and overruns
+// freeze miss dossiers without the caller asking for tracing. A run with
+// no recorder armed is untouched: env.Trace stays nil and the emit sites'
+// nil check keeps the fast path event-free.
+
+// armedFlight is the process-wide recorder (ArmFlight). RunConfig.Flight
+// overrides it per run.
+var armedFlight atomic.Pointer[flight.Recorder]
+
+// ArmFlight arms rec for every subsequent run in the process that does not
+// carry its own RunConfig.Flight — how the sweep engine's workers record
+// misses without threading a recorder through every experiment config.
+// The returned disarm restores the previous recorder.
+func ArmFlight(rec *flight.Recorder) (disarm func()) {
+	prev := armedFlight.Swap(rec)
+	return func() { armedFlight.Store(prev) }
+}
+
+// ArmedFlight returns the process-wide recorder, nil when disarmed.
+func ArmedFlight() *flight.Recorder { return armedFlight.Load() }
+
+// flightTap builds the run's tap: job deadlines resolve from the workload,
+// scheduler state from the scheduler's own StateProvider (when it is one)
+// plus the engine clock and queue depth.
+func flightTap(rec *flight.Recorder, w *Workload, s Scheduler, rc RunConfig, env *Env) *flight.Tap {
+	return rec.NewTap(flight.TapConfig{
+		Label:    s.Name(),
+		BudgetUS: RxBudgetUS,
+		Job: func(bs, sf int) (float64, float64, bool) {
+			if bs < 0 || bs >= len(w.Jobs) || sf < 0 || sf >= len(w.Jobs[bs]) {
+				return 0, 0, false
+			}
+			j := &w.Jobs[bs][sf]
+			return j.Arrival, j.Deadline, true
+		},
+		Reports: rc.FlightReports,
+		State: func() flight.SchedState {
+			st := flight.SchedState{
+				Scheduler:           s.Name(),
+				NowUS:               env.Eng.Now(),
+				PendingEngineEvents: env.Eng.Pending(),
+			}
+			if sp, ok := s.(flight.StateProvider); ok {
+				ps := sp.FlightState()
+				st.QueueDepths = ps.QueueDepths
+				st.RunningJobs = ps.RunningJobs
+				st.InFlightBatches = ps.InFlightBatches
+			}
+			return st
+		},
+	})
+}
+
+// FlightState implements flight.StateProvider: per-core backlog, cores
+// mid-subframe, and cores hosting an in-flight migration batch (Fig. 12
+// state 2).
+func (s *RTOPEX) FlightState() flight.SchedState {
+	st := flight.SchedState{QueueDepths: make([]int, len(s.cores))}
+	for i, c := range s.cores {
+		st.QueueDepths[i] = len(c.pending)
+		if c.running {
+			st.RunningJobs++
+		}
+		if c.batch != nil {
+			st.InFlightBatches++
+		}
+	}
+	return st
+}
+
+// FlightState implements flight.StateProvider.
+func (p *Partitioned) FlightState() flight.SchedState {
+	st := flight.SchedState{QueueDepths: make([]int, len(p.cores))}
+	for i, c := range p.cores {
+		st.QueueDepths[i] = len(c.pending)
+		if c.busy {
+			st.RunningJobs++
+		}
+	}
+	return st
+}
+
+// FlightState implements flight.StateProvider. Global has one shared EDF
+// queue, reported as a single depth.
+func (g *Global) FlightState() flight.SchedState {
+	st := flight.SchedState{QueueDepths: []int{len(g.queue)}}
+	for _, c := range g.cores {
+		if c.busy {
+			st.RunningJobs++
+		}
+	}
+	return st
+}
+
+var (
+	_ flight.StateProvider = (*RTOPEX)(nil)
+	_ flight.StateProvider = (*Partitioned)(nil)
+	_ flight.StateProvider = (*Global)(nil)
+)

@@ -15,8 +15,10 @@ package sched
 import (
 	"fmt"
 
+	"rtopex/internal/flight"
 	"rtopex/internal/lte"
 	"rtopex/internal/model"
+	"rtopex/internal/obs"
 	"rtopex/internal/platform"
 	"rtopex/internal/stats"
 	"rtopex/internal/trace"
@@ -336,6 +338,14 @@ type RunConfig struct {
 	// EngineHook, when non-nil, observes the discrete-event engine itself
 	// (event scheduling and execution).
 	EngineHook platform.Hook
+	// Flight, when non-nil, arms the deadline-miss flight recorder for this
+	// run (overriding any process-wide ArmFlight recorder): a tap is teed
+	// into the event stream and misses/drops freeze dossiers.
+	Flight *flight.Recorder
+	// FlightReports, when non-nil, supplies per-core utilization for
+	// dossiers from an accountant the caller already runs on this stream
+	// (harness.TracedRunObserved), so the tap does not keep a second one.
+	FlightReports func(endUS float64) []obs.CoreReport
 }
 
 // RunConfigured is the fully general run entry point.
@@ -357,6 +367,19 @@ func RunConfigured(w *Workload, s Scheduler, rc RunConfig) (*Metrics, error) {
 		ExpectedRTT2:   w.Cfg.ExpectedRTT2US,
 		SubframesPerBS: w.Cfg.Subframes,
 		Trace:          rc.Tracer,
+	}
+	rec := rc.Flight
+	if rec == nil {
+		rec = ArmedFlight()
+	}
+	var tap *flight.Tap
+	if rec != nil {
+		// Arming the recorder turns event emission on even for otherwise
+		// untraced runs: the tap needs the stream to ring. rc.Tracer first in
+		// the tee, so a caller-shared accountant sees each event before the
+		// tap snapshots its reports.
+		tap = flightTap(rec, w, s, rc, env)
+		env.Trace = trace.Tee(rc.Tracer, tap)
 	}
 	s.Attach(env)
 	for bs := range w.Jobs {
@@ -380,5 +403,8 @@ func RunConfigured(w *Workload, s Scheduler, rc RunConfig) (*Metrics, error) {
 	}
 	eng.Run()
 	s.Finalize()
+	if tap != nil {
+		tap.Close()
+	}
 	return m, nil
 }

@@ -1,0 +1,48 @@
+package sweep
+
+import (
+	"path/filepath"
+	"testing"
+
+	"rtopex/internal/flight"
+	"rtopex/internal/sched"
+)
+
+// TestArmedRecorderKeepsArtifactsIdentical is the forensics-don't-perturb
+// guarantee: a sweep with the process-wide flight recorder armed produces
+// an artifact store byte-identical to a disarmed sweep. The recorder may
+// observe and spool whatever it likes; the experiment records must not
+// know it was there.
+func TestArmedRecorderKeepsArtifactsIdentical(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "plain.jsonl")
+	armed := filepath.Join(dir, "armed.jsonl")
+
+	if _, err := Run(Config{IDs: tinyIDs, Workers: 4, Options: tinyOptions, StorePath: plain}); err != nil {
+		t.Fatal(err)
+	}
+
+	spool, err := flight.NewSpool(flight.SpoolConfig{Dir: filepath.Join(dir, "spool")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := flight.New(flight.Config{Spool: spool, MaxPerSec: -1})
+	disarm := sched.ArmFlight(rec)
+	_, rerr := Run(Config{IDs: tinyIDs, Workers: 4, Options: tinyOptions, StorePath: armed})
+	disarm()
+	rec.Close()
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	t.Logf("armed sweep: %d trigger(s), %d dossier(s)", rec.Triggers(), rec.Written())
+
+	pl, al := storeLines(t, plain), storeLines(t, armed)
+	if len(pl) == 0 || len(pl) != len(al) {
+		t.Fatalf("store sizes differ: plain %d, armed %d", len(pl), len(al))
+	}
+	for i := range pl {
+		if pl[i] != al[i] {
+			t.Fatalf("store line %d differs with recorder armed:\nplain: %s\narmed: %s", i, pl[i], al[i])
+		}
+	}
+}

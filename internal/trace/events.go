@@ -208,12 +208,19 @@ type tee struct{ sinks []Tracer }
 // Tee fans each event out to every sink, in order. It is Enabled when any
 // sink is, and sinks that report disabled are skipped on Emit. Nil sinks are
 // dropped; a tee of zero or one live sinks collapses to the obvious thing.
+// Nested tees are spliced flat, so composing an existing tee with one more
+// sink (arming a flight recorder over a run's ring+accountant pair) costs a
+// single dispatch per sink per event, not a dispatch per nesting level.
 // The typical use is recording a run into a Ring while a CoreAccountant
 // tallies utilization from the same stream.
 func Tee(sinks ...Tracer) Tracer {
 	live := make([]Tracer, 0, len(sinks))
 	for _, s := range sinks {
-		if s != nil {
+		switch s := s.(type) {
+		case nil:
+		case *tee:
+			live = append(live, s.sinks...)
+		default:
 			live = append(live, s)
 		}
 	}

@@ -63,6 +63,31 @@ fetch_state() {
 		wget -qO- --header "Authorization: Bearer $RTOPEX_AUTH_TOKEN" "http://$addr/state.json"
 	fi
 }
+probe() {
+	if command -v curl >/dev/null 2>&1; then
+		curl -fsS "http://$addr$1"
+	else
+		wget -qO- "http://$addr$1"
+	fi
+}
+
+# Gate on the readiness probe before pointing any worker at the
+# coordinator — the same contract an orchestrator would use. The probe is
+# deliberately unauthenticated (no bearer header), which also asserts the
+# health endpoints sit outside the auth gate.
+ready=0
+for _ in $(seq 1 100); do
+	if probe /readyz 2>/dev/null | grep -q '^ok$'; then
+		ready=1
+		break
+	fi
+	sleep 0.05
+done
+[ "$ready" = 1 ] || {
+	echo "fleet-smoke: FAIL — /readyz never reported ready" >&2
+	cat "$tmp/sweepd.log" >&2
+	exit 1
+}
 
 echo "fleet-smoke: starting workers (victim + survivor)" >&2
 "$tmp/sweepworker" -coordinator "$addr" -name victim -workers 1 -quiet 2>"$tmp/victim.log" &

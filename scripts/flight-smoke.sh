@@ -1,0 +1,42 @@
+#!/bin/sh
+# flight-smoke: smoke-check the miss-forensics pipeline end-to-end.
+#
+# A seeded jittery-transport RT-OPEX run (RTT/2 = 650 µs, well past the
+# paper's 600 µs miss threshold) with the flight recorder armed must:
+#   1. spool at least one miss dossier (versioned JSON) into the spool dir;
+#   2. have rtoptrace -dossier render that dossier as a post-mortem
+#      containing the trigger classification, the stage timeline, and the
+#      slack verdict ("overshot deadline").
+# The stage-budget arithmetic itself (stage durations summing to the
+# measured completion time) is asserted by the internal/flight unit tests;
+# this script proves the binaries wire together.
+set -eu
+
+GO=${GO:-go}
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT INT TERM
+
+$GO run ./cmd/rtoptrace -run -subframes 2000 -rtt2 650 -spread 160 -seed 7 \
+	-out "$dir/trace.json" -flight "$dir/spool" >"$dir/run.log" 2>&1 \
+	|| { echo "flight-smoke: FAIL — traced run errored" >&2; cat "$dir/run.log" >&2; exit 1; }
+
+first=$(ls "$dir/spool" 2>/dev/null | head -n 1)
+if [ -z "$first" ]; then
+	echo "flight-smoke: FAIL — jittery run spooled no dossiers" >&2
+	cat "$dir/run.log" >&2
+	exit 1
+fi
+count=$(ls "$dir/spool" | wc -l | tr -d ' ')
+grep -q '"flight_version"' "$dir/spool/$first" \
+	|| { echo "flight-smoke: FAIL — $first is not versioned dossier JSON" >&2; exit 1; }
+
+$GO run ./cmd/rtoptrace -dossier "$dir/spool/$first" >"$dir/postmortem.txt" 2>&1 \
+	|| { echo "flight-smoke: FAIL — rtoptrace -dossier errored" >&2; cat "$dir/postmortem.txt" >&2; exit 1; }
+
+for want in "miss dossier" "deadline-miss" "stage timeline" "overshot deadline"; do
+	grep -q "$want" "$dir/postmortem.txt" \
+		|| { echo "flight-smoke: FAIL — post-mortem missing \"$want\"" >&2; cat "$dir/postmortem.txt" >&2; exit 1; }
+done
+
+echo "flight-smoke: PASS — $count dossier(s) spooled, $first renders as a post-mortem" >&2
