@@ -11,10 +11,14 @@ BENCH_PHY = BenchmarkPHY(EndToEnd|FFT|Demod|Decode|Pipelined)
 # its armed/disabled gate is a median of per-iteration pairs, and 30 pairs
 # keep that median stable enough to hold to ±5%.
 FLIGHT_BENCHTIME ?= 30x
+# The history plane's scrape+evaluate pair gates a much smaller ratio
+# (~3% overhead at one tick per run), so its median needs 100 pairs to
+# sit still inside the ±5% tolerance.
+HISTORY_BENCHTIME ?= 100x
 
-.PHONY: ci build test vet race fmt-check bench bench-all bench-check trace-demo sweep-check sweep-check-full baselines baselines-full obs-smoke fleet-smoke flight-smoke profile-phy phy-speedup
+.PHONY: ci build test vet race fmt-check bench bench-all bench-check trace-demo sweep-check sweep-check-full baselines baselines-full obs-smoke fleet-smoke flight-smoke slo-smoke profile-phy phy-speedup
 
-ci: vet build race fmt-check sweep-check bench-check phy-speedup obs-smoke fleet-smoke flight-smoke
+ci: vet build race fmt-check sweep-check bench-check phy-speedup obs-smoke fleet-smoke flight-smoke slo-smoke
 
 build:
 	$(GO) build ./...
@@ -42,7 +46,8 @@ fmt-check:
 bench:
 	{ $(GO) test -bench='BenchmarkSweepWorkerPool' -benchtime=$(BENCHTIME) -run='^$$' ./internal/sweep; \
 	  $(GO) test -bench='$(BENCH_PHY)' -benchtime=$(BENCHTIME) -run='^$$' .; \
-	  $(GO) test -bench='BenchmarkFlightRecorder' -benchtime=$(FLIGHT_BENCHTIME) -run='^$$' ./internal/harness; } \
+	  $(GO) test -bench='BenchmarkFlightRecorder' -benchtime=$(FLIGHT_BENCHTIME) -run='^$$' ./internal/harness; \
+	  $(GO) test -bench='BenchmarkScrapeEvaluate' -benchtime=$(HISTORY_BENCHTIME) -run='^$$' ./internal/harness; } \
 	| $(GO) run ./cmd/benchjson -out BENCH_sweep.json
 
 # bench-all sweeps every benchmark once (no JSON artifact).
@@ -60,11 +65,12 @@ bench-all:
 bench-check:
 	{ $(GO) test -bench='BenchmarkSweepWorkerPool' -benchtime=$(BENCHTIME) -run='^$$' ./internal/sweep; \
 	  $(GO) test -bench='$(BENCH_PHY)' -benchtime=$(BENCHTIME) -run='^$$' .; \
-	  $(GO) test -bench='BenchmarkFlightRecorder' -benchtime=$(FLIGHT_BENCHTIME) -run='^$$' ./internal/harness; } \
+	  $(GO) test -bench='BenchmarkFlightRecorder' -benchtime=$(FLIGHT_BENCHTIME) -run='^$$' ./internal/harness; \
+	  $(GO) test -bench='BenchmarkScrapeEvaluate' -benchtime=$(HISTORY_BENCHTIME) -run='^$$' ./internal/harness; } \
 	| $(GO) run ./cmd/benchjson -check BENCH_sweep.json \
 		-tol ns/op=0.35 -tol us/subframe=0.35 -tol us/stage=0.35 \
 		-tol shards/s=0.35 -tol subframes/s=0.35 -tol B/op=1.0 \
-		-tol 'armed/disabled=0.05'
+		-tol 'armed/disabled=0.05' -tol 'history/disabled=0.05'
 
 # profile-phy captures a CPU profile of the end-to-end PHY benchmark — the
 # workflow behind the fast-path optimizations (constituent fusion, twiddle
@@ -150,6 +156,14 @@ baselines-full:
 # dossier, and rtoptrace -dossier must render its post-mortem.
 flight-smoke:
 	sh scripts/flight-smoke.sh
+
+# slo-smoke proves the history plane + SLO engine end-to-end: a seeded
+# jittery livebench run under a deliberately tight SLO must fire a
+# burn-rate alert whose dossier cross-links point at spooled flight
+# dossiers, on both the livebench /api/alerts surface and an obscollect
+# the run pushes to.
+slo-smoke:
+	sh scripts/slo-smoke.sh
 
 # fleet-smoke proves the distributed sweep fleet end-to-end: a coordinator
 # plus two workers (one SIGKILLed mid-sweep, forcing a lease reclaim) must

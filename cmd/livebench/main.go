@@ -8,10 +8,18 @@
 // tens of milliseconds. The scheduling geometry — core mapping, utilization
 // ratio, slack fractions — is preserved.
 //
+// With -http the run carries the full observability surface: /metrics,
+// pprof, /healthz+/readyz probes, the flight recorder's /dossiers, and the
+// history plane's /api/series, /api/query, /api/slo and /api/alerts.
+// -slo declares burn-rate objectives over the live counters; a firing
+// alert cross-links the miss dossiers captured inside its window.
+//
 // Usage:
 //
 //	livebench -bs 2 -subframes 100 -mcs 13 -dilation 50
 //	livebench -bs 4 -subframes 200 -mcs -1          # trace-driven MCS
+//	livebench -http :6060 -flight /tmp/spool \
+//	  -slo 'miss_rate: rtopex_live_missed_total+rtopex_live_dropped_total / rtopex_live_subframes_total <= 0.1% over 5m'
 package main
 
 import (
@@ -40,12 +48,41 @@ func main() {
 		phyWork   = flag.Int("phy-workers", 1, "subtask workers per core (parallel PHY fast path; ≤1 = serial)")
 		pipeDepth = flag.Int("pipeline-depth", 1, "cross-subframe window per core (≥2 overlaps consecutive subframes' stages; ≤1 = serial)")
 		seed      = flag.Uint64("seed", 1, "random seed")
-		httpAddr  = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060) during the run")
+		httpAddr  = flag.String("http", "", "serve /metrics, /debug/vars, /debug/pprof, health probes and the /api history endpoints on this address (e.g. :6060) during the run")
 		pushAddr  = flag.String("push", "", "stream registry snapshots to the obscollect collector at this address (host:port)")
 		pushEvery = flag.Duration("push-interval", 2*time.Second, "interval between pushes for -push")
 		flightDir = flag.String("flight", "", "arm the deadline-miss flight recorder and spool dossiers into this directory")
+		shipAddr  = flag.String("flight-ship", "", "ship spooled dossiers to this daemon's /dossiers/push (default: the -push address)")
+		token     = flag.String("auth-token", "", "bearer token for -flight-ship (default $RTOPEX_AUTH_TOKEN)")
+
+		histStep   = flag.Duration("history-step", time.Second, "history scrape interval (0 disables the time-series store)")
+		histKeep   = flag.Duration("history-retention", 15*time.Minute, "history retention per series")
+		sloFast    = flag.Duration("slo-fast", 0, "override the fast burn window for every -slo objective (default window/12)")
+		sloSlow    = flag.Duration("slo-slow", 0, "override the slow burn window for every -slo objective (default the SLO window)")
+		sloPend    = flag.Duration("slo-pending", 0, "how long burn must persist before an alert fires")
+		linger     = flag.Duration("linger", 0, "keep serving -http for this long after the run finishes (inspection/smoke)")
+		objectives []obs.Objective
 	)
+	flag.Func("slo", "declarative objective, e.g. 'miss_rate: errs / total <= 0.1% over 5m' (repeatable)", func(spec string) error {
+		o, err := obs.ParseObjective(spec)
+		if err != nil {
+			return err
+		}
+		objectives = append(objectives, o)
+		return nil
+	})
+	logCfg := obs.LogFlags(nil)
 	flag.Parse()
+
+	logger, err := logCfg.Logger("livebench", os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "livebench: %v\n", err)
+		os.Exit(1)
+	}
+	fatalf := func(format string, args ...any) {
+		logger.Error(fmt.Sprintf(format, args...))
+		os.Exit(1)
+	}
 
 	// The live run always carries the observability plane: a registry for
 	// the progress counters and a per-core accountant replaying the event
@@ -59,48 +96,104 @@ func main() {
 	// arena failure freezes a dossier into the spool, and the -http surface
 	// gains /dossiers and the /events SSE stream.
 	var rec *flight.Recorder
+	var spool *flight.Spool
 	if *flightDir != "" {
-		spool, err := flight.NewSpool(flight.SpoolConfig{Dir: *flightDir})
+		spool, err = flight.NewSpool(flight.SpoolConfig{Dir: *flightDir})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "livebench: -flight: %v\n", err)
-			os.Exit(1)
+			fatalf("-flight: %v", err)
 		}
 		rec = flight.New(flight.Config{Spool: spool, Registry: reg})
 	}
+
+	// The history plane: a scraper samples the registry into the TSDB every
+	// -history-step, and the SLO engine (when -slo objectives are declared)
+	// evaluates its burn rates after every scrape, cross-linking the flight
+	// recorder's dossiers onto firing alerts.
+	var (
+		db  *obs.TSDB
+		slo *obs.SLOEngine
+	)
+	if *histStep > 0 {
+		db = obs.NewTSDB(obs.TSDBConfig{Step: *histStep, Retention: *histKeep})
+		if len(objectives) > 0 {
+			for i := range objectives {
+				if *sloFast > 0 {
+					objectives[i].FastWindow = *sloFast
+				}
+				if *sloSlow > 0 {
+					objectives[i].SlowWindow = *sloSlow
+				}
+				objectives[i].Pending = *sloPend
+			}
+			slo = obs.NewSLOEngine(db, objectives...)
+			if rec != nil {
+				slo.SetDossierSource(rec)
+			}
+		}
+		scraper := obs.StartScraper(obs.ScraperConfig{
+			DB:       db,
+			Snapshot: reg.Snapshot,
+			SLO:      slo,
+		})
+		defer scraper.Stop()
+	} else if len(objectives) > 0 {
+		fatalf("-slo requires the history store (-history-step > 0)")
+	}
+
 	if *httpAddr != "" {
-		var extra []obs.Route
+		extra := obs.HealthRoutes(nil)
 		if rec != nil {
-			extra = rec.Routes()
+			extra = append(extra, rec.Routes()...)
+		}
+		if db != nil {
+			extra = append(extra, obs.APIRoutes(obs.SingleHistory(db, slo))...)
 		}
 		bound, stop, err := obs.Serve(*httpAddr, reg, extra...)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "livebench: -http: %v\n", err)
-			os.Exit(1)
+			fatalf("-http: %v", err)
 		}
 		defer stop()
-		fmt.Fprintf(os.Stderr, "livebench: observability endpoint on http://%s/ (metrics, vars, pprof)\n", bound)
+		logger.Info("observability endpoint up", "addr", "http://"+bound+"/")
 	}
 	var stopPush func() error
 	if *pushAddr != "" {
 		pusher, err := obs.NewPusher(obs.PusherConfig{
 			Addr:   *pushAddr,
 			Source: obs.DefaultSource(obs.L("role", "livebench")),
-			Logf: func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, "livebench: "+format+"\n", args...)
-			},
+			Logf:   obs.Printf(logger),
 		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "livebench: -push: %v\n", err)
-			os.Exit(1)
+			fatalf("-push: %v", err)
 		}
 		// Periodic pushes keep the collector's fleet view live during the
 		// run; the deferred stop sends the final (complete) state.
 		stopPush = pusher.StartPeriodic(reg, *pushEvery)
 		defer func() {
 			if err := stopPush(); err != nil {
-				fmt.Fprintf(os.Stderr, "livebench: %v\n", err)
+				logger.Warn("final push failed", "err", err)
 			}
 		}()
+	}
+	// Spooled dossiers ship to a fleet daemon's /dossiers/push (obscollect
+	// or sweepd) so fleet-side SLO alerts can cross-link them too.
+	var shipStop func()
+	if spool != nil {
+		addr := *shipAddr
+		if addr == "" {
+			addr = *pushAddr
+		}
+		if addr != "" {
+			shipper, err := flight.NewShipper(flight.ShipperConfig{
+				Addr:      addr,
+				Source:    obs.DefaultSource(obs.L("role", "livebench")).ID,
+				AuthToken: obs.AuthTokenFromEnv(*token),
+				Logf:      obs.Printf(logger),
+			})
+			if err != nil {
+				fatalf("-flight-ship: %v", err)
+			}
+			shipStop = shipper.StartPeriodic(spool, *pushEvery)
+		}
 	}
 	acct := obs.NewCoreAccountant()
 
@@ -124,8 +217,7 @@ func main() {
 		Flight:        rec,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "livebench: %v\n", err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
 
 	fmt.Printf("\nsubframes: %d  decoded: %d  missed: %d  dropped: %d  decodeFail: %d\n",
@@ -165,8 +257,34 @@ func main() {
 
 	if rec != nil {
 		rec.Close()
+		if shipStop != nil {
+			shipStop() // final ship after the recorder flushed its queue
+		}
 		fmt.Printf("\nflight recorder: %d trigger(s), %d dossier(s) spooled to %s, %d suppressed\n",
 			rec.Triggers(), rec.Written(), *flightDir, rec.Suppressed())
+	}
+
+	// SLO recap: with history on, report each objective's windowed ratio
+	// and the alert it ended the run in.
+	if slo != nil {
+		fmt.Println("\nslo:")
+		for _, s := range slo.Status() {
+			fmt.Printf("  %s: ratio %.4g vs target %.4g over %s — burn fast %.2f slow %.2f, budget used %.0f%% [%s]\n",
+				s.Objective.Name, s.ErrorRatio, s.Objective.Target,
+				time.Duration(s.WindowMS)*time.Millisecond, s.FastBurn, s.SlowBurn,
+				s.BudgetUsed*100, s.State)
+		}
+		for _, a := range slo.Alerts() {
+			if a.State == obs.AlertInactive {
+				continue
+			}
+			fmt.Printf("  alert %s: %s, %d dossier(s) linked\n", a.Objective, a.State, a.DossierCount)
+		}
+	}
+
+	if *linger > 0 && *httpAddr != "" {
+		logger.Info("lingering for inspection", "for", (*linger).String())
+		time.Sleep(*linger)
 	}
 
 	fmt.Println("\ncaveat: Go's GC and scheduler inject milliseconds of jitter; the paper's")

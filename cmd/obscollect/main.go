@@ -18,6 +18,15 @@
 //	POST /dossiers/push   miss-dossier ingest (sweepworker -flight-ship)
 //	GET  /dossiers[/<id>] stored dossier listing / document
 //	GET  /healthz /readyz liveness and readiness probes (unauthenticated)
+//	GET  /api/series /api/query /api/slo /api/alerts
+//	               the history plane: per-source and merged-fleet
+//	               timelines (?source=<id> selects a source; default is
+//	               the merge), SLO burn status, and alerts cross-linking
+//	               the dossiers workers shipped
+//
+// -slo declares burn-rate objectives over the merged fleet counters
+// (evaluated every -history-step); a firing alert cross-links the miss
+// dossiers ingested inside its window.
 //
 // With -auth-token (or $RTOPEX_AUTH_TOKEN) every endpoint except the
 // health probes requires the matching bearer token; pushers send it via
@@ -54,7 +63,22 @@ func main() {
 		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
 		token      = flag.String("auth-token", "", "require this bearer token on every endpoint (default $RTOPEX_AUTH_TOKEN)")
 		quiet      = flag.Bool("quiet", false, "suppress per-source log lines")
+
+		histStep   = flag.Duration("history-step", 2*time.Second, "history scrape interval (0 disables the time-series store)")
+		histKeep   = flag.Duration("history-retention", time.Hour, "history retention per series")
+		sloFast    = flag.Duration("slo-fast", 0, "override the fast burn window for every -slo objective (default window/12)")
+		sloSlow    = flag.Duration("slo-slow", 0, "override the slow burn window for every -slo objective (default the SLO window)")
+		sloPend    = flag.Duration("slo-pending", 0, "how long burn must persist before an alert fires")
+		objectives []obs.Objective
 	)
+	flag.Func("slo", "declarative objective over merged fleet counters, e.g. 'miss_rate: errs / total <= 0.1% over 1h' (repeatable)", func(spec string) error {
+		o, err := obs.ParseObjective(spec)
+		if err != nil {
+			return err
+		}
+		objectives = append(objectives, o)
+		return nil
+	})
 	logCfg := obs.LogFlags(nil)
 	flag.Parse()
 
@@ -70,6 +94,33 @@ func main() {
 	}
 	col := obs.NewCollector(obs.CollectorConfig{Stale: *stale, Logf: clogf})
 	dossiers := obs.NewDossierStore(obs.DossierStoreConfig{Logf: clogf})
+
+	// The history plane: per-source and merged-fleet timelines scraped
+	// every -history-step, with -slo objectives evaluated over the merge
+	// and firing alerts cross-linking the ingested dossiers.
+	var history *obs.FleetHistory
+	if *histStep > 0 {
+		for i := range objectives {
+			if *sloFast > 0 {
+				objectives[i].FastWindow = *sloFast
+			}
+			if *sloSlow > 0 {
+				objectives[i].SlowWindow = *sloSlow
+			}
+			objectives[i].Pending = *sloPend
+		}
+		history = obs.NewFleetHistory(col, obs.FleetHistoryConfig{
+			TSDB:       obs.TSDBConfig{Step: *histStep, Retention: *histKeep},
+			Objectives: objectives,
+			Dossiers:   dossiers,
+		})
+		col.AttachHistory(history)
+		history.Start()
+		defer history.Stop()
+	} else if len(objectives) > 0 {
+		logf("-slo requires the history store (-history-step > 0)")
+		os.Exit(2)
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -98,6 +149,11 @@ func main() {
 	obs.MountHealth(mux, nil)
 	mux.Handle("/dossiers", obs.BearerAuth(authToken, dossiers.Handler()))
 	mux.Handle("/dossiers/", obs.BearerAuth(authToken, dossiers.Handler()))
+	if history != nil {
+		for _, rt := range obs.APIRoutes(history.Resolve) {
+			mux.Handle(rt.Pattern, obs.BearerAuth(authToken, rt.Handler))
+		}
+	}
 	mux.Handle("/", obs.BearerAuth(authToken, col.Handler()))
 	srv := &http.Server{Handler: mux}
 	go func() {

@@ -61,7 +61,15 @@ func main() {
 		tolSpecs = append(tolSpecs, s)
 		return nil
 	})
+	logCfg := rtopex.ObsLogFlags(nil)
 	flag.Parse()
+
+	logger, err := logCfg.Logger("rtopex", os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtopex: %v\n", err)
+		os.Exit(2)
+	}
+	logf := rtopex.ObsPrintf(logger)
 
 	var reg *rtopex.ObsRegistry
 	if *httpAddr != "" || *pushAddr != "" {
@@ -70,26 +78,23 @@ func main() {
 	if *httpAddr != "" {
 		bound, stop, err := rtopex.ServeObs(*httpAddr, reg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rtopex: -http: %v\n", err)
+			logf("-http: %v", err)
 			os.Exit(1)
 		}
 		defer stop()
-		fmt.Fprintf(os.Stderr, "rtopex: observability endpoint on http://%s/ (metrics, vars, pprof)\n", bound)
+		logf("observability endpoint on http://%s/ (metrics, vars, pprof)", bound)
 	}
 	var pusher *rtopex.ObsPusher
 	if *pushAddr != "" {
-		var err error
 		pusher, err = rtopex.NewObsPusher(rtopex.ObsPusherConfig{
 			Addr: *pushAddr,
 			Source: rtopex.DefaultObsSource(
 				rtopex.ObsL("role", "rtopex"),
 				rtopex.ObsL("exps", expLabel(*exp, *all))),
-			Logf: func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, "rtopex: "+format+"\n", args...)
-			},
+			Logf: logf,
 		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rtopex: -push: %v\n", err)
+			logf("-push: %v", err)
 			os.Exit(1)
 		}
 	}
@@ -119,7 +124,7 @@ func main() {
 	case *exp != "":
 		ids = splitIDs(*exp)
 	default:
-		fmt.Fprintln(os.Stderr, "rtopex: specify -exp <id>, -all, or -list")
+		logf("specify -exp <id>, -all, or -list")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -130,7 +135,7 @@ func main() {
 		os.Exit(runSweep(ids, opts, sweepFlags{
 			parallel: *parallel, workers: *workers, out: *out, resume: *resume,
 			baseline: *baseline, tolSpecs: tolSpecs, replicas: *replicas, timeout: *timeout,
-			skipMeasured: *skipMeas, format: *format, obs: reg, push: pusher,
+			skipMeasured: *skipMeas, format: *format, obs: reg, push: pusher, logf: logf,
 		}))
 	}
 
@@ -141,13 +146,13 @@ func main() {
 		start := time.Now()
 		tb, err := rtopex.RunExperiment(id, opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rtopex: %v\n", err)
+			logf("%v", err)
 			os.Exit(1)
 		}
 		if reg != nil {
 			rtopex.PublishExperimentTable(reg, tb)
 			if err := pusher.Push(reg); err != nil {
-				fmt.Fprintf(os.Stderr, "rtopex: %v\n", err)
+				logf("%v", err)
 			}
 		}
 		printTable(tb, *format)
@@ -156,7 +161,7 @@ func main() {
 		}
 	}
 	if err := pusher.PushFinal(reg); err != nil {
-		fmt.Fprintf(os.Stderr, "rtopex: %v\n", err)
+		logf("%v", err)
 		os.Exit(1)
 	}
 }
@@ -204,6 +209,7 @@ type sweepFlags struct {
 	format       string
 	obs          *rtopex.ObsRegistry
 	push         *rtopex.ObsPusher
+	logf         func(format string, args ...any)
 }
 
 // runSweep drives the sweep engine and returns the process exit code.
@@ -226,7 +232,7 @@ func runSweep(ids []string, opts rtopex.ExperimentOptions, f sweepFlags) int {
 		Push:         f.push,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "rtopex: sweep: %v\n", err)
+		f.logf("sweep: %v", err)
 		return 1
 	}
 
@@ -254,10 +260,10 @@ func runSweep(ids []string, opts rtopex.ExperimentOptions, f sweepFlags) int {
 		}
 	}
 
-	fmt.Fprintf(os.Stderr, "sweep: %d ran, %d reused, %d failed in %.1fs (busy %.1fs, speedup %.2fx)\n",
+	f.logf("sweep: %d ran, %d reused, %d failed in %.1fs (busy %.1fs, speedup %.2fx)",
 		res.Ran, res.Reused, len(res.Failures), res.Wall.Seconds(), res.Busy.Seconds(), res.Speedup())
 	for _, fail := range res.Failures {
-		fmt.Fprintf(os.Stderr, "sweep: FAILED %s: %s\n", fail.Unit.Spec.ID, fail.Err)
+		f.logf("sweep: FAILED %s: %s", fail.Unit.Spec.ID, fail.Err)
 	}
 
 	code := 0
@@ -267,23 +273,23 @@ func runSweep(ids []string, opts rtopex.ExperimentOptions, f sweepFlags) int {
 	if f.baseline != "" {
 		base, err := rtopex.ReadSweepStore(f.baseline)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rtopex: baseline: %v\n", err)
+			f.logf("baseline: %v", err)
 			return 1
 		}
 		perCol, err := rtopex.ParseSweepTolerances(f.tolSpecs)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rtopex: %v\n", err)
+			f.logf("%v", err)
 			return 1
 		}
 		drifts := rtopex.CompareSweeps(base, records, rtopex.SweepCompareOptions{PerColumn: perCol})
 		if len(drifts) > 0 {
-			fmt.Fprintf(os.Stderr, "sweep: %d drift(s) from baseline %s:\n", len(drifts), f.baseline)
+			f.logf("sweep: %d drift(s) from baseline %s:", len(drifts), f.baseline)
 			for _, d := range drifts {
-				fmt.Fprintf(os.Stderr, "  %s\n", d)
+				f.logf("  %s", d)
 			}
 			code = 1
 		} else {
-			fmt.Fprintf(os.Stderr, "sweep: matches baseline %s (%d records compared)\n", f.baseline, len(base))
+			f.logf("sweep: matches baseline %s (%d records compared)", f.baseline, len(base))
 		}
 	}
 	return code

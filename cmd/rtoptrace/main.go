@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"sort"
 	"strings"
@@ -61,7 +62,15 @@ func main() {
 		flightDir = flag.String("flight", "", "arm the flight recorder during -run, spooling miss dossiers into this directory")
 		dossier   = flag.String("dossier", "", "render one miss dossier file as a post-mortem and exit")
 	)
+	logCfg := obs.LogFlags(nil)
 	flag.Parse()
+
+	logger, err := logCfg.Logger("rtoptrace", os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtoptrace: %v\n", err)
+		os.Exit(2)
+	}
+	errLogger = logger
 
 	if *dossier != "" {
 		d, err := flight.ReadDossierFile(*dossier)
@@ -77,7 +86,6 @@ func main() {
 	var log *trace.EventLog
 	switch {
 	case *run:
-		var err error
 		log, err = tracedRun(*subframes, *rtt2, *spread, *seed, *out, *metrics, *flightDir)
 		if err != nil {
 			fail(err)
@@ -93,7 +101,7 @@ func main() {
 			fail(err)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "rtoptrace: specify -run or -in <trace.json>")
+		errLogger.Error("specify -run or -in <trace.json>")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -124,8 +132,16 @@ func main() {
 	printUtilization(log)
 }
 
+// errLogger carries the structured logger fail() reports through; set once
+// at startup, before any fail path can run.
+var errLogger *slog.Logger
+
 func fail(err error) {
-	fmt.Fprintf(os.Stderr, "rtoptrace: %v\n", err)
+	if errLogger != nil {
+		errLogger.Error(err.Error())
+	} else {
+		fmt.Fprintf(os.Stderr, "rtoptrace: %v\n", err)
+	}
 	os.Exit(1)
 }
 

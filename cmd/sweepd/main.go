@@ -17,6 +17,9 @@
 //	POST /dossiers/push   miss-dossier ingest from sweepworker -flight-ship
 //	GET  /dossiers[/<id>] stored dossier listing / document
 //	GET  /healthz /readyz liveness and readiness probes (unauthenticated)
+//	GET  /api/series /api/query   lease/reclaim/ingest history: the
+//	               coordinator's rtopex_fleet_* counters sampled into the
+//	               in-process time-series store every -history-step
 //
 // With -auth-token (or $RTOPEX_AUTH_TOKEN) every endpoint except the
 // health probes requires the matching bearer token. The artifact store a
@@ -57,6 +60,8 @@ func main() {
 		linger     = flag.Duration("linger", 2*time.Second, "keep serving 'done' responses this long after the sweep resolves so idle workers exit cleanly")
 		dossierDir = flag.String("dossier-dir", "", "flush dossiers shipped by workers to this directory on exit")
 		quiet      = flag.Bool("quiet", false, "suppress per-lease log lines")
+		histStep   = flag.Duration("history-step", 2*time.Second, "lease/ingest history scrape interval (0 disables /api history)")
+		histKeep   = flag.Duration("history-retention", time.Hour, "history retention per series")
 
 		exp       = flag.String("exp", "", "comma-separated experiment ids (default: whole registry)")
 		all       = flag.Bool("all", false, "sweep every registered experiment (the default when -exp is empty)")
@@ -147,6 +152,20 @@ func main() {
 	obs.MountHealth(mux, nil)
 	mux.Handle("/dossiers", obs.BearerAuth(authToken, dossiers.Handler()))
 	mux.Handle("/dossiers/", obs.BearerAuth(authToken, dossiers.Handler()))
+	// Lease/ingest history: the coordinator's own registry (leases,
+	// reclaims, completions, worker liveness) sampled into a TSDB so the
+	// fleet's churn is queryable over windows, not just cumulatively.
+	if *histStep > 0 {
+		db := obs.NewTSDB(obs.TSDBConfig{Step: *histStep, Retention: *histKeep})
+		scraper := obs.StartScraper(obs.ScraperConfig{
+			DB:       db,
+			Snapshot: coord.Registry().Snapshot,
+		})
+		defer scraper.Stop()
+		for _, rt := range obs.APIRoutes(obs.SingleHistory(db, nil)) {
+			mux.Handle(rt.Pattern, obs.BearerAuth(authToken, rt.Handler))
+		}
+	}
 	mux.Handle("/", obs.BearerAuth(authToken, coord.Handler()))
 	srv := &http.Server{Handler: mux}
 	go func() {

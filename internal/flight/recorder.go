@@ -2,6 +2,7 @@ package flight
 
 import (
 	"encoding/json"
+	"fmt"
 	"sync"
 	"time"
 
@@ -87,6 +88,10 @@ type Recorder struct {
 type recentDossier struct {
 	d    *Dossier
 	path string
+	// capturedAt is the writer's wall clock (cfg.Now) when the dossier
+	// landed — dossiers themselves carry only sim time, and the SLO
+	// engine's alert windows live in wall time.
+	capturedAt time.Time
 }
 
 // New creates a recorder and starts its background writer. Close it after
@@ -131,7 +136,7 @@ func (r *Recorder) writer() {
 		sum, _ := json.Marshal(d.Summarize(path))
 		r.mu.Lock()
 		r.written++
-		r.recent = append(r.recent, recentDossier{d: d, path: path})
+		r.recent = append(r.recent, recentDossier{d: d, path: path, capturedAt: r.cfg.Now()})
 		if over := len(r.recent) - r.cfg.Keep; over > 0 {
 			r.recent = append(r.recent[:0], r.recent[over:]...)
 		}
@@ -279,6 +284,33 @@ func (r *Recorder) Recent() []Summary {
 	out := make([]Summary, len(r.recent))
 	for i, rd := range r.recent {
 		out[i] = rd.d.Summarize(rd.path)
+	}
+	return out
+}
+
+// DossierRefsSince implements obs.DossierSource: recent dossiers captured
+// at or after since, oldest first, as SLO alert cross-link refs. The ref
+// ID is the spool path when spooled, else "seq:<n>".
+func (r *Recorder) DossierRefsSince(since time.Time) []obs.DossierRef {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []obs.DossierRef
+	for _, rd := range r.recent {
+		if rd.capturedAt.Before(since) {
+			continue
+		}
+		id := rd.path
+		if id == "" {
+			id = fmt.Sprintf("seq:%d", rd.d.Seq)
+		}
+		out = append(out, obs.DossierRef{
+			ID:         id,
+			Source:     "local",
+			Label:      rd.d.Label,
+			Trigger:    string(rd.d.Trigger),
+			Seq:        rd.d.Seq,
+			CapturedMS: rd.capturedAt.UnixMilli(),
+		})
 	}
 	return out
 }

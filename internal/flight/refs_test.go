@@ -1,0 +1,68 @@
+package flight_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"rtopex/internal/flight"
+	"rtopex/internal/obs"
+)
+
+// waitWritten polls until the recorder's async writer has drained n
+// dossiers (the capture timestamp is stamped at drain time).
+func waitWritten(t *testing.T, rec *flight.Recorder, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for rec.Written() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d written dossiers (have %d)", n, rec.Written())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDossierRefsSince: the recorder implements obs.DossierSource — recent
+// dossiers become alert cross-link refs stamped with the injected capture
+// clock, and the since cutoff filters on it.
+func TestDossierRefsSince(t *testing.T) {
+	var mu sync.Mutex
+	now := time.UnixMilli(50_000)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	rec := flight.New(flight.Config{PostEvents: -1, MaxPerSec: -1, Now: clock})
+	tap := rec.NewTap(flight.TapConfig{Label: "refs"})
+
+	tap.Emit(miss(1, 0, 0, 1))
+	waitWritten(t, rec, 1)
+	mu.Lock()
+	now = now.Add(5 * time.Second)
+	mu.Unlock()
+	tap.Emit(miss(2, 0, 0, 2))
+	waitWritten(t, rec, 2)
+	tap.Close()
+	rec.Close()
+
+	var _ obs.DossierSource = rec // compile-time interface check
+
+	refs := rec.DossierRefsSince(time.UnixMilli(0))
+	if len(refs) != 2 {
+		t.Fatalf("refs = %+v, want 2", refs)
+	}
+	first := refs[0]
+	if first.Source != "local" || first.ID != "seq:1" || first.Label != "refs" ||
+		first.Trigger != "deadline-miss" || first.Seq != 1 || first.CapturedMS != 50_000 {
+		t.Fatalf("first ref = %+v", first)
+	}
+	if refs[1].ID != "seq:2" || refs[1].CapturedMS != 55_000 {
+		t.Fatalf("second ref = %+v", refs[1])
+	}
+
+	late := rec.DossierRefsSince(time.UnixMilli(51_000))
+	if len(late) != 1 || late[0].Seq != 2 {
+		t.Fatalf("since-filtered refs = %+v", late)
+	}
+}

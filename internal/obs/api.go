@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The /api surface of the history plane: JSON endpoints over a TSDB and
+// its SLO engine, mounted as obs.Route values so both obs.Serve
+// (livebench) and hand-built daemon muxes (obscollect, sweepd) can carry
+// them.
+//
+//	GET /api/series            stored series inventory
+//	GET /api/query?series=&fn=&window=[&q=][&points=1]   one windowed query
+//	GET /api/slo               objective status (targets, burn, budget)
+//	GET /api/alerts            alert states with dossier cross-links
+//
+// Fleet daemons keep per-source and merged history; their endpoints accept
+// ?source=<id> to select a source's timeline (default: the merged fleet).
+
+// HistoryView is one queryable timeline: a TSDB plus the SLO engine
+// evaluated over it (nil when the view has no objectives, e.g. a single
+// fleet source).
+type HistoryView struct {
+	DB  *TSDB
+	SLO *SLOEngine
+}
+
+// HistoryResolver maps an /api request's ?source= parameter ("" for the
+// default timeline) to a view. Returning ok=false 404s the request.
+type HistoryResolver func(source string) (HistoryView, bool)
+
+// SingleHistory resolves every request to one process-local view,
+// rejecting explicit ?source= selectors other than "" and "local".
+func SingleHistory(db *TSDB, slo *SLOEngine) HistoryResolver {
+	v := HistoryView{DB: db, SLO: slo}
+	return func(source string) (HistoryView, bool) {
+		if source != "" && source != "local" {
+			return HistoryView{}, false
+		}
+		return v, true
+	}
+}
+
+// APIRoutes builds the /api routes over a resolver.
+func APIRoutes(resolve HistoryResolver) []Route {
+	view := func(w http.ResponseWriter, r *http.Request) (HistoryView, bool) {
+		v, ok := resolve(r.URL.Query().Get("source"))
+		if !ok {
+			http.Error(w, "unknown source", http.StatusNotFound)
+		}
+		return v, ok
+	}
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	}
+	series := func(w http.ResponseWriter, r *http.Request) {
+		v, ok := view(w, r)
+		if !ok {
+			return
+		}
+		writeJSON(w, map[string]any{
+			"step_ms": v.DB.Step().Milliseconds(),
+			"scrapes": v.DB.Scrapes(),
+			"series":  v.DB.Series(),
+		})
+	}
+	query := func(w http.ResponseWriter, r *http.Request) {
+		v, ok := view(w, r)
+		if !ok {
+			return
+		}
+		q := r.URL.Query()
+		id := q.Get("series")
+		if id == "" {
+			http.Error(w, "missing series=", http.StatusBadRequest)
+			return
+		}
+		fn := QueryFn(q.Get("fn"))
+		if fn == "" {
+			fn = FnRate
+		}
+		window := time.Minute
+		if ws := q.Get("window"); ws != "" {
+			var err error
+			if window, err = ParseWindow(ws); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		quant := 0.99
+		if qs := q.Get("q"); qs != "" {
+			var err error
+			if quant, err = strconv.ParseFloat(qs, 64); err != nil || quant < 0 || quant > 1 {
+				http.Error(w, "bad q= (want 0..1)", http.StatusBadRequest)
+				return
+			}
+		}
+		res := v.DB.Query(id, fn, window, quant)
+		if q.Get("points") == "1" {
+			res.Points = v.DB.Points(id, window)
+		}
+		writeJSON(w, res)
+	}
+	slo := func(w http.ResponseWriter, r *http.Request) {
+		v, ok := view(w, r)
+		if !ok {
+			return
+		}
+		var objs []ObjectiveStatus
+		if v.SLO != nil {
+			objs = v.SLO.Status()
+		}
+		writeJSON(w, map[string]any{"slo_version": SLOVersion, "objectives": objs})
+	}
+	alerts := func(w http.ResponseWriter, r *http.Request) {
+		v, ok := view(w, r)
+		if !ok {
+			return
+		}
+		var as []Alert
+		if v.SLO != nil {
+			as = v.SLO.Alerts()
+		}
+		writeJSON(w, map[string]any{"slo_version": SLOVersion, "alerts": as})
+	}
+	return []Route{
+		{Pattern: "/api/series", Handler: http.HandlerFunc(series)},
+		{Pattern: "/api/query", Handler: http.HandlerFunc(query)},
+		{Pattern: "/api/slo", Handler: http.HandlerFunc(slo)},
+		{Pattern: "/api/alerts", Handler: http.HandlerFunc(alerts)},
+	}
+}
+
+// sparkGlyphs are the eight fill levels of a text sparkline, lowest first.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders points as a fixed-width text sparkline, downsampling
+// by averaging into width cells and scaling min..max across the eight
+// glyph levels (flat series render at the lowest level). Empty input
+// renders as spaces.
+func Sparkline(points []Point, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	if len(points) == 0 {
+		return strings.Repeat(" ", width)
+	}
+	// Downsample: cell i averages the points mapped onto it.
+	sums := make([]float64, width)
+	counts := make([]int, width)
+	for i, p := range points {
+		cell := i * width / len(points)
+		sums[cell] += p.V
+		counts[cell]++
+	}
+	lo, hi := points[0].V, points[0].V
+	for _, p := range points[1:] {
+		if p.V < lo {
+			lo = p.V
+		}
+		if p.V > hi {
+			hi = p.V
+		}
+	}
+	var b strings.Builder
+	prev := sparkGlyphs[0]
+	for i := 0; i < width; i++ {
+		if counts[i] == 0 {
+			// Sparse input: carry the previous level so the line stays
+			// continuous instead of dropping to baseline between samples.
+			b.WriteRune(prev)
+			continue
+		}
+		v := sums[i] / float64(counts[i])
+		level := 0
+		if hi > lo {
+			level = int((v - lo) / (hi - lo) * float64(len(sparkGlyphs)-1))
+		}
+		if level < 0 {
+			level = 0
+		}
+		if level >= len(sparkGlyphs) {
+			level = len(sparkGlyphs) - 1
+		}
+		prev = sparkGlyphs[level]
+		b.WriteRune(prev)
+	}
+	return b.String()
+}

@@ -31,6 +31,7 @@ type Collector struct {
 	src     map[string]*sourceState
 	evicted int64
 	started time.Time
+	history *FleetHistory
 }
 
 type sourceState struct {
@@ -348,6 +349,15 @@ func (c *Collector) WriteDashboard(w io.Writer) {
 		if len(lines) > 0 {
 			fmt.Fprintf(w, "\nper-core utilization (%s):\n%s\n", s.Source.ID, strings.Join(lines, "\n"))
 		}
+	}
+
+	// History plane, when attached: merged-timeline sparklines plus
+	// objective status and live alerts.
+	c.mu.Lock()
+	h := c.history
+	c.mu.Unlock()
+	if h != nil {
+		h.writeHistory(w)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // DossierPushPath is the endpoint fleet workers POST miss dossiers to
@@ -31,6 +32,10 @@ type DossierStoreConfig struct {
 	MaxItemBytes int64
 	// Logf, when non-nil, receives ingest log lines.
 	Logf func(format string, args ...any)
+	// Now substitutes the ingest clock (tests); nil means time.Now. The
+	// ingest time stamps DossierMeta and drives DossierRefsSince, the SLO
+	// engine's alert-window membership test.
+	Now func() time.Time
 }
 
 // DossierMeta is the listing form of one stored dossier.
@@ -44,6 +49,8 @@ type DossierMeta struct {
 	Trigger string `json:"trigger,omitempty"`
 	Seq     uint64 `json:"seq,omitempty"`
 	Bytes   int    `json:"bytes"`
+	// IngestMS is the store's ingest wall-clock time (Unix ms).
+	IngestMS int64 `json:"ingest_ms"`
 }
 
 // DossierStore collects miss dossiers shipped from fleet workers. The obs
@@ -77,6 +84,9 @@ func NewDossierStore(cfg DossierStoreConfig) *DossierStore {
 	if cfg.MaxItemBytes <= 0 {
 		cfg.MaxItemBytes = 4 << 20
 	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
 	return &DossierStore{cfg: cfg, nextID: 1}
 }
 
@@ -104,12 +114,13 @@ func (s *DossierStore) Ingest(source string, raw []byte) error {
 	copy(cp, raw)
 	s.mu.Lock()
 	meta := DossierMeta{
-		ID:      s.nextID,
-		Source:  source,
-		Label:   probe.Label,
-		Trigger: probe.Trigger,
-		Seq:     probe.Seq,
-		Bytes:   len(cp),
+		ID:       s.nextID,
+		Source:   source,
+		Label:    probe.Label,
+		Trigger:  probe.Trigger,
+		Seq:      probe.Seq,
+		Bytes:    len(cp),
+		IngestMS: s.cfg.Now().UnixMilli(),
 	}
 	s.nextID++
 	s.items = append(s.items, storedDossier{meta: meta, raw: cp})
@@ -157,6 +168,31 @@ func (s *DossierStore) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.items)
+}
+
+// DossierRefsSince implements DossierSource: stored dossiers ingested at
+// or after since, oldest first, as alert cross-link refs. A fleet daemon's
+// SLO engine links the dossiers its workers shipped inside the alert
+// window.
+func (s *DossierStore) DossierRefsSince(since time.Time) []DossierRef {
+	cutoff := since.UnixMilli()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []DossierRef
+	for _, it := range s.items {
+		if it.meta.IngestMS < cutoff {
+			continue
+		}
+		out = append(out, DossierRef{
+			ID:         strconv.FormatInt(it.meta.ID, 10),
+			Source:     it.meta.Source,
+			Label:      it.meta.Label,
+			Trigger:    it.meta.Trigger,
+			Seq:        it.meta.Seq,
+			CapturedMS: it.meta.IngestMS,
+		})
+	}
+	return out
 }
 
 // Evicted reports dossiers pushed out by the caps.

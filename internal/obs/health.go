@@ -18,16 +18,26 @@ import (
 // (always ready); otherwise it is called per probe and its error is the
 // 503 body.
 func MountHealth(mux *http.ServeMux, ready func() error) {
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
-		if ready != nil {
-			if err := ready(); err != nil {
-				http.Error(w, err.Error(), http.StatusServiceUnavailable)
-				return
+	for _, rt := range HealthRoutes(ready) {
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
+}
+
+// HealthRoutes returns the probe endpoints as obs.Route values, for
+// callers that extend an obs.Serve mux instead of owning one (livebench).
+func HealthRoutes(ready func() error) []Route {
+	return []Route{
+		{Pattern: "/healthz", Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})},
+		{Pattern: "/readyz", Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if ready != nil {
+				if err := ready(); err != nil {
+					http.Error(w, err.Error(), http.StatusServiceUnavailable)
+					return
+				}
 			}
-		}
-		fmt.Fprintln(w, "ok")
-	})
+			fmt.Fprintln(w, "ok")
+		})},
+	}
 }

@@ -25,6 +25,9 @@
 package rtopex
 
 import (
+	"flag"
+	"log/slog"
+
 	"rtopex/internal/channel"
 	"rtopex/internal/harness"
 	"rtopex/internal/lte"
@@ -307,6 +310,17 @@ type (
 	// ObsCollectorConfig configures an ObsCollector.
 	ObsCollectorConfig = obs.CollectorConfig
 )
+
+// ObsLogConfig carries the shared -log-format/-log-level flag values used
+// by every CLI surface (fleet daemons and the experiment commands alike).
+type ObsLogConfig = obs.LogConfig
+
+// ObsLogFlags registers -log-format and -log-level on fs (the global flag
+// set when nil) and returns the config the flags fill at Parse time.
+func ObsLogFlags(fs *flag.FlagSet) *ObsLogConfig { return obs.LogFlags(fs) }
+
+// ObsPrintf adapts a structured logger to logf(format, args...) plumbing.
+func ObsPrintf(l *slog.Logger) func(format string, args ...any) { return obs.Printf(l) }
 
 // ObsL is shorthand for constructing an ObsLabel.
 func ObsL(key, value string) ObsLabel { return obs.L(key, value) }

@@ -1,0 +1,123 @@
+#!/bin/sh
+# slo-smoke: end-to-end check of the history plane + SLO engine.
+#
+# A seeded livebench run at MCS 27 with a 2 ms subframe budget (dilation
+# 2, under the fast path's ~2.5 ms p50 decode) misses most deadlines. Under a deliberately tight SLO
+# (0.1% miss budget, 1 s/2 s burn windows, no pending hold) that run must:
+#   1. fire a burn-rate alert on livebench's own /api/alerts whose dossier
+#      cross-links point at >=1 spooled flight dossier;
+#   2. push its counters and ship its dossiers to an obscollect daemon
+#      whose fleet-level SLO over the merged timeline must fire (or
+#      resolve) an alert cross-linking >=1 ingested dossier.
+# The alert state machine, burn arithmetic and link bookkeeping are
+# asserted by the internal/obs unit tests; this script proves the binaries
+# wire together: scraper -> TSDB -> SLO -> dossier sources -> /api/alerts,
+# locally and fleet-side.
+set -eu
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+	for p in $pids; do kill "$p" 2>/dev/null || true; done
+	for p in $pids; do wait "$p" 2>/dev/null || true; done
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+fetch() { # $1=url $2=out
+	if command -v curl >/dev/null 2>&1; then
+		curl -fsS "$1" >"$2" 2>/dev/null
+	else
+		wget -qO- "$1" >"$2" 2>/dev/null
+	fi
+}
+
+# An alert proves the pipeline once it has left inactive (firing while the
+# burn persists, resolved after it drains) AND carries dossier links.
+alert_ok() { # $1=alerts-json
+	grep -Eq '"state": *"(firing|resolved)"' "$1" &&
+		grep -Eq '"dossier_count": *[1-9]' "$1"
+}
+
+SLO='miss_rate: rtopex_live_missed_total+rtopex_live_dropped_total / rtopex_live_subframes_total <= 0.1% over 10s'
+
+echo "slo-smoke: building binaries" >&2
+$GO build -o "$tmp/obscollect" ./cmd/obscollect
+$GO build -o "$tmp/livebench" ./cmd/livebench
+
+echo "slo-smoke: starting obscollect with fleet SLO" >&2
+"$tmp/obscollect" -listen 127.0.0.1:0 -addr-file "$tmp/addr" -quiet \
+	-history-step 250ms -slo "$SLO" -slo-fast 1s -slo-slow 2s \
+	2>"$tmp/collect.log" &
+pids="$pids $!"
+for _ in $(seq 1 100); do
+	[ -s "$tmp/addr" ] && break
+	sleep 0.05
+done
+[ -s "$tmp/addr" ] || { echo "slo-smoke: FAIL — obscollect did not bind" >&2; cat "$tmp/collect.log" >&2; exit 1; }
+collect=$(cat "$tmp/addr")
+
+echo "slo-smoke: livebench run at MCS 27, 2 ms budget, tight SLO" >&2
+"$tmp/livebench" -bs 1 -cores-per-bs 2 -subframes 1500 -mcs 27 -dilation 2 \
+	-seed 7 -http 127.0.0.1:0 -flight "$tmp/spool" \
+	-push "$collect" -push-interval 250ms \
+	-history-step 250ms -slo "$SLO" -slo-fast 1s -slo-slow 2s \
+	-linger 15s >"$tmp/run.log" 2>&1 &
+pids="$pids $!"
+
+# The livebench endpoint binds an ephemeral port; its address shows up in
+# the run log once serving.
+live=""
+for _ in $(seq 1 200); do
+	live=$(grep -oh 'http://127\.0\.0\.1:[0-9]*' "$tmp/run.log" | head -n 1) || true
+	[ -n "$live" ] && break
+	sleep 0.05
+done
+[ -n "$live" ] || { echo "slo-smoke: FAIL — livebench endpoint never came up" >&2; cat "$tmp/run.log" >&2; exit 1; }
+
+# Poll both /api/alerts surfaces until each shows a fired alert with
+# dossier cross-links (the run takes ~3 s; the alert fires once the burn
+# windows fill, and stays inspectable through -linger).
+live_ok=""
+fleet_ok=""
+for _ in $(seq 1 240); do
+	if [ -z "$live_ok" ] && fetch "$live/api/alerts" "$tmp/alerts_live.json" && alert_ok "$tmp/alerts_live.json"; then
+		live_ok=1
+		echo "slo-smoke: livebench alert fired with dossier links" >&2
+	fi
+	if [ -z "$fleet_ok" ] && fetch "http://$collect/api/alerts" "$tmp/alerts_fleet.json" && alert_ok "$tmp/alerts_fleet.json"; then
+		fleet_ok=1
+		echo "slo-smoke: obscollect fleet alert fired with dossier links" >&2
+	fi
+	[ -n "$live_ok" ] && [ -n "$fleet_ok" ] && break
+	sleep 0.1
+done
+if [ -z "$live_ok" ] || [ -z "$fleet_ok" ]; then
+	echo "slo-smoke: FAIL — no fired alert with dossier links (live=${live_ok:-no} fleet=${fleet_ok:-no})" >&2
+	echo "--- livebench /api/alerts:" >&2
+	cat "$tmp/alerts_live.json" 2>/dev/null >&2 || true
+	echo "--- obscollect /api/alerts:" >&2
+	cat "$tmp/alerts_fleet.json" 2>/dev/null >&2 || true
+	echo "--- run log:" >&2
+	tail -40 "$tmp/run.log" >&2
+	exit 1
+fi
+
+# The cross-links must point at real dossiers: livebench's at the local
+# spool, obscollect's at its ingested store.
+spooled=$(ls "$tmp/spool" 2>/dev/null | wc -l | tr -d ' ')
+[ "$spooled" -ge 1 ] || { echo "slo-smoke: FAIL — no dossiers spooled" >&2; exit 1; }
+grep -Eq '"source": *"local"' "$tmp/alerts_live.json" || {
+	echo "slo-smoke: FAIL — livebench alert links carry no local dossier refs" >&2
+	cat "$tmp/alerts_live.json" >&2
+	exit 1
+}
+fetch "http://$collect/dossiers" "$tmp/dossiers.json"
+grep -q '"id"' "$tmp/dossiers.json" || {
+	echo "slo-smoke: FAIL — obscollect ingested no dossiers" >&2
+	cat "$tmp/dossiers.json" >&2
+	exit 1
+}
+
+echo "slo-smoke: PASS — burn-rate alert fired on livebench and obscollect, cross-linking $spooled spooled dossier(s)" >&2
