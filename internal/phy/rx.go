@@ -61,8 +61,15 @@ type Receiver struct {
 
 	rms        []*turbo.RateMatcher
 	decoders   []*turbo.Decoder
-	rawCovered []bool // [block] rate matching covers all systematic bits at rv 0
-	descramb   []byte // scrambling sequence, applied to LLRs
+	rawCovered []bool    // [block] rate matching covers all systematic bits at rv 0
+	descramb   []float64 // scrambling sequence as ±1 LLR sign multipliers
+
+	// Batched decode grouping (cfg.DecodeBatch > 1): group g covers blocks
+	// groups[g]..groups[g+1] and owns batches[g], so concurrent group
+	// subtasks never share scratch.
+	groups   []int
+	batches  []*turbo.Batch
+	groupIdx [][]int // [group] scratch: block ids added to the batch
 
 	// Cached stage decomposition. The subtask closures read the per-call
 	// inputs from curIQ/curN0, which Pipeline sets before returning stages.
@@ -122,6 +129,8 @@ func NewReceiver(cfg Config) (*Receiver, error) {
 		}
 		dec.MaxIterations = cfg.maxIter()
 		dec.Path = cfg.DecoderPath
+		dec.Radix = cfg.DecoderRadix
+		dec.CheckCadence = cfg.DecodeCheckCadence
 		rx.rms = append(rx.rms, rm)
 		rx.decoders = append(rx.decoders, dec)
 		// The iteration-0 raw-hard-decision pre-check only ever pays when
@@ -130,9 +139,13 @@ func NewReceiver(cfg Config) (*Receiver, error) {
 		rx.rawCovered = append(rx.rawCovered, rm.CoversSystematic(layout.es[i], 0))
 	}
 	scr := sequence.NewScrambler(sequence.PUSCHInit(cfg.RNTI, 0, cfg.Subframe, cfg.CellID), layout.g)
-	rx.descramb = make([]byte, layout.g)
+	// Stored as ±1.0 multipliers rather than bits: descrambling then is a
+	// branch-free multiply (an exact IEEE sign flip) instead of a
+	// data-dependent branch per LLR, which mispredicts half the time on the
+	// pseudo-random sequence.
+	rx.descramb = make([]float64, layout.g)
 	for i := range rx.descramb {
-		rx.descramb[i] = scr.Bit(i)
+		rx.descramb[i] = 1 - 2*float64(scr.Bit(i))
 	}
 	rx.grid = make([][][]complex128, cfg.Antennas)
 	for a := range rx.grid {
@@ -242,11 +255,25 @@ func (rx *Receiver) buildStages() {
 		demodStage.Subtasks = append(demodStage.Subtasks, func() { rx.demodSymbol(ds, noise()) })
 	}
 
-	// Stage 4: decode — one subtask per code block.
+	// Stage 4: decode — one subtask per code block, or per group of
+	// cfg.DecodeBatch blocks decoded together through turbo.Batch.
 	decodeStage := Stage{Name: TaskDecode}
-	for r := 0; r < rx.layout.seg.C; r++ {
-		r := r
-		decodeStage.Subtasks = append(decodeStage.Subtasks, func() { rx.decodeBlock(r) })
+	c := rx.layout.seg.C
+	if b := rx.cfg.DecodeBatch; b > 1 {
+		for lo := 0; lo < c; lo += b {
+			hi := min(lo+b, c)
+			rx.groups = append(rx.groups, lo)
+			rx.batches = append(rx.batches, turbo.NewBatch(hi-lo))
+			rx.groupIdx = append(rx.groupIdx, make([]int, 0, hi-lo))
+			g := len(rx.batches) - 1
+			decodeStage.Subtasks = append(decodeStage.Subtasks, func() { rx.decodeGroup(g) })
+		}
+		rx.groups = append(rx.groups, c)
+	} else {
+		for r := 0; r < c; r++ {
+			r := r
+			decodeStage.Subtasks = append(decodeStage.Subtasks, func() { rx.decodeBlock(r) })
+		}
 	}
 
 	rx.stages = []Stage{fftStage, chestStage, demodStage, decodeStage}
@@ -383,42 +410,76 @@ func (rx *Receiver) demodSymbol(ds int, n0 float64) {
 	// DFT/√M. The per-sample noise power afterwards is the mean of the
 	// per-subcarrier post-MRC powers.
 	fft.IDFTInto(eq, eq, rx.idftWork[ds])
-	sqrtM := complex(math.Sqrt(float64(m)), 0)
+	sqrtM := math.Sqrt(float64(m))
 	for i := range eq {
-		eq[i] *= sqrtM
+		eq[i] = complex(real(eq[i])*sqrtM, imag(eq[i])*sqrtM)
 	}
 	n0Eff := n0 * invDenSum / float64(m)
 	qm := rx.layout.scheme.Order()
 	base := ds * m * qm
 	dst := rx.llrs[base : base+m*qm]
 	modulation.DemapInto(dst, rx.layout.scheme, eq, n0Eff)
-	for i := range dst {
-		if rx.descramb[base+i] == 1 {
-			dst[i] = -dst[i]
-		}
+	for i, s := range rx.descramb[base : base+m*qm] {
+		dst[i] *= s
 	}
+}
+
+// dematchBlock clears and refills code block r's soft streams from the
+// codeword LLRs, reporting whether the block is decodable. The failure arm
+// is unreachable by construction (E > 0 always); it marks the block failed.
+func (rx *Receiver) dematchBlock(r int) bool {
+	e := rx.layout.es[r]
+	off := rx.layout.offs[r]
+	s0, s1, s2 := rx.soft[r][0], rx.soft[r][1], rx.soft[r][2]
+	clear(s0)
+	clear(s1)
+	clear(s2)
+	if err := rx.rms[r].DematchInto(s0, s1, s2, rx.llrs[off:off+e], 0); err != nil {
+		rx.res.BlockOK[r] = false
+		rx.res.BlockIterations[r] = rx.cfg.maxIter()
+		return false
+	}
+	return true
+}
+
+func (rx *Receiver) storeBlockResult(r int, res turbo.Result) {
+	copy(rx.blocks[r], res.Bits)
+	rx.res.BlockOK[r] = res.OK
+	rx.res.BlockIterations[r] = res.Iterations
 }
 
 // decodeBlock rate-dematches and turbo-decodes code block r.
 func (rx *Receiver) decodeBlock(r int) {
-	e := rx.layout.es[r]
-	off := rx.layout.offs[r]
-	s0, s1, s2 := rx.soft[r][0], rx.soft[r][1], rx.soft[r][2]
-	for i := range s0 {
-		s0[i], s1[i], s2[i] = 0, 0, 0
-	}
-	if err := rx.rms[r].DematchInto(s0, s1, s2, rx.llrs[off:off+e], 0); err != nil {
-		// Unreachable by construction (E > 0 always); treat as block failure.
-		rx.res.BlockOK[r] = false
-		rx.res.BlockIterations[r] = rx.cfg.maxIter()
+	if !rx.dematchBlock(r) {
 		return
 	}
 	dec := rx.decoders[r]
 	dec.PrecheckRaw = rx.rawCovered[r] // HARQ shares these decoders and re-enables it
-	res := dec.Decode(s0, s1, s2, rx.checks[r])
-	copy(rx.blocks[r], res.Bits)
-	rx.res.BlockOK[r] = res.OK
-	rx.res.BlockIterations[r] = res.Iterations
+	rx.storeBlockResult(r, dec.Decode(rx.soft[r][0], rx.soft[r][1], rx.soft[r][2], rx.checks[r]))
+}
+
+// decodeGroup rate-dematches block group g and decodes it as one
+// turbo.Batch: every block's half-iterations interleave under the shared
+// schedule, with per-block CRC termination. Bit-identical to decodeBlock
+// per block.
+func (rx *Receiver) decodeGroup(g int) {
+	lo, hi := rx.groups[g], rx.groups[g+1]
+	b := rx.batches[g]
+	b.Reset()
+	ids := rx.groupIdx[g][:0]
+	for r := lo; r < hi; r++ {
+		if !rx.dematchBlock(r) {
+			continue
+		}
+		dec := rx.decoders[r]
+		dec.PrecheckRaw = rx.rawCovered[r] // HARQ shares these decoders and re-enables it
+		b.Add(dec, rx.soft[r][0], rx.soft[r][1], rx.soft[r][2], rx.checks[r])
+		ids = append(ids, r)
+	}
+	b.Run()
+	for i, r := range ids {
+		rx.storeBlockResult(r, b.Result(i))
+	}
 }
 
 // Result assembles the transport block after all stages completed. The

@@ -16,6 +16,7 @@ type liveObs struct {
 	dropped    *obs.Counter
 	procUS     *obs.Histogram
 	lateUS     *obs.Histogram
+	decodeIt   *obs.Histogram
 	stageUS    map[phy.TaskName]*obs.Histogram
 }
 
@@ -31,6 +32,7 @@ func newLiveObs(reg *obs.Registry) *liveObs {
 	reg.SetHelp("rtopex_live_proc_us", "Per-subframe wall-clock processing time.")
 	reg.SetHelp("rtopex_live_late_us", "Tardiness of subframes that missed the deadline.")
 	reg.SetHelp("rtopex_live_stage_us", "Per-pipeline-stage wall-clock time, labelled by stage.")
+	reg.SetHelp("rtopex_phy_decode_iterations", "Turbo iterations per code block before CRC early termination (0 = raw-systematic precheck hit).")
 	stageUS := make(map[phy.TaskName]*obs.Histogram, 4)
 	for _, name := range []phy.TaskName{phy.TaskFFT, phy.TaskChEst, phy.TaskDemod, phy.TaskDecode} {
 		stageUS[name] = reg.Histogram("rtopex_live_stage_us", obs.L("stage", string(name)))
@@ -43,6 +45,7 @@ func newLiveObs(reg *obs.Registry) *liveObs {
 		dropped:    reg.Counter("rtopex_live_dropped_total"),
 		procUS:     reg.Histogram("rtopex_live_proc_us"),
 		lateUS:     reg.Histogram("rtopex_live_late_us"),
+		decodeIt:   reg.Histogram("rtopex_phy_decode_iterations"),
 		stageUS:    stageUS,
 	}
 }
@@ -75,6 +78,19 @@ func (l *liveObs) processed(outcome string, procUS, lateUS float64) {
 	if lateUS > 0 {
 		l.missed.Inc()
 		l.lateUS.Observe(lateUS)
+	}
+}
+
+// decodeIterations books the per-code-block turbo iteration counts of one
+// decoded subframe — the early-termination shape the scheduler exploits
+// (most blocks stop after one iteration at operating SNR; the histogram
+// exposes the tail that runs to the cap).
+func (l *liveObs) decodeIterations(blockIters []int) {
+	if l == nil {
+		return
+	}
+	for _, it := range blockIters {
+		l.decodeIt.Observe(float64(it))
 	}
 }
 

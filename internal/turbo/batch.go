@@ -1,0 +1,128 @@
+package turbo
+
+import "fmt"
+
+// Batch decodes several code blocks through the quantized pipeline under a
+// shared half-iteration schedule: each sweep walks every still-active
+// block's constituent pass back-to-back before any block advances to the
+// next half-iteration, so the trellis kernels, permutation tables and
+// branch-metric constants stay hot across blocks instead of each block
+// running its full iteration loop cold. The per-block operation sequence
+// is exactly the one Decode executes (the blocks are independent; only the
+// interleaving across blocks differs), so batched results are bit-identical
+// to per-block Decode calls by construction — TestBatchMatchesSingle pins
+// this on the differential grid.
+//
+// Early termination is per block: a block leaves the schedule the moment
+// its CRC passes — including at iteration 0 via the raw-systematic
+// precheck, which Run evaluates for each block individually before any
+// trellis work, so a clean block never pays a constituent pass just
+// because its batch-mates are dirty.
+//
+// A Batch is reusable scratch and allocates only when its capacity grows:
+// Reset, Add each block, Run, then read Result(i). Not safe for concurrent
+// use; the PHY receiver holds one per worker. Blocks whose Decoder selects
+// the float64 path fall back to a plain Decode call at Run time.
+type Batch struct {
+	items []batchItem
+}
+
+type batchItem struct {
+	d          *Decoder
+	s0, s1, s2 []float64
+	check      func([]byte) bool
+	run        quantRun
+	active     bool
+	res        Result
+}
+
+// NewBatch returns a Batch with capacity for n blocks (it grows beyond n
+// if needed, at the cost of an allocation).
+func NewBatch(n int) *Batch {
+	return &Batch{items: make([]batchItem, 0, n)}
+}
+
+// Reset empties the batch for reuse. Retained capacity keeps Add
+// allocation-free up to the previous block count.
+func (b *Batch) Reset() { b.items = b.items[:0] }
+
+// Len reports the number of blocks added since the last Reset.
+func (b *Batch) Len() int { return len(b.items) }
+
+// Add enqueues one block: the three soft streams (each K+4 LLRs, matching
+// d.K) and an optional CRC check, with the same contract as d.Decode.
+// Returns the block's index for Result. Every block needs its own Decoder —
+// the interleaved schedule keeps all blocks' trellis scratch live at once,
+// so a shared Decoder would corrupt both blocks (Add panics on one).
+func (b *Batch) Add(d *Decoder, s0, s1, s2 []float64, check func([]byte) bool) int {
+	k := d.K
+	if len(s0) != k+4 || len(s1) != k+4 || len(s2) != k+4 {
+		panic(fmt.Sprintf("turbo: batch stream lengths (%d,%d,%d), want %d", len(s0), len(s1), len(s2), k+4))
+	}
+	for i := range b.items {
+		if b.items[i].d == d {
+			panic("turbo: decoder added to batch twice")
+		}
+	}
+	b.items = append(b.items, batchItem{d: d, s0: s0, s1: s1, s2: s2, check: check})
+	return len(b.items) - 1
+}
+
+// Run decodes every added block. Results are available via Result until
+// the next Reset.
+func (b *Batch) Run() {
+	// Phase 0, per block: float-path fallback, raw-systematic precheck,
+	// and decoder-1 input quantization for the blocks that stay.
+	nActive := 0
+	for i := range b.items {
+		it := &b.items[i]
+		d := it.d
+		if d.Path == PathFloat64 || d.MaxIterations < 1 {
+			it.res = d.Decode(it.s0, it.s1, it.s2, it.check)
+			it.active = false
+			continue
+		}
+		if it.check != nil && d.PrecheckRaw {
+			hard := d.hard
+			for j, v := range it.s0[:d.K] {
+				if v < 0 {
+					hard[j] = 1
+				} else {
+					hard[j] = 0
+				}
+			}
+			if it.check(hard) {
+				it.res = Result{Bits: hard, Iterations: 0, OK: true}
+				it.active = false
+				continue
+			}
+		}
+		it.run.begin(d, it.s0, it.s1, it.s2, it.check)
+		it.active = true
+		nActive++
+	}
+
+	// Half-iteration sweeps: all active blocks run decoder 1, then all
+	// survivors run decoder 2. Blocks terminate individually.
+	for nActive > 0 {
+		for i := range b.items {
+			it := &b.items[i]
+			if it.active && it.run.half1() {
+				it.res = it.run.res
+				it.active = false
+				nActive--
+			}
+		}
+		for i := range b.items {
+			it := &b.items[i]
+			if it.active && it.run.half2() {
+				it.res = it.run.res
+				it.active = false
+				nActive--
+			}
+		}
+	}
+}
+
+// Result returns block i's decode result (valid after Run, until Reset).
+func (b *Batch) Result(i int) Result { return b.items[i].res }

@@ -1,0 +1,227 @@
+package turbo
+
+import (
+	"testing"
+
+	"rtopex/internal/bits"
+	"rtopex/internal/stats"
+)
+
+// batchBlock is one prepared test block: encoded streams plus the oracle
+// result of a plain per-block Decode with an identically-configured decoder.
+type batchBlock struct {
+	k     int
+	s     [][]float64
+	check func([]byte) bool
+	want  Result
+}
+
+func makeBatchBlocks(t *testing.T, specs []struct {
+	k   int
+	snr float64
+}) []*batchBlock {
+	t.Helper()
+	r := stats.NewRNG(90)
+	blocks := make([]*batchBlock, len(specs))
+	for i, sp := range specs {
+		in := randomBlock(r, sp.k)
+		streams, _ := EncodeStreams(in)
+		s := noisyStreams(r, streams, sp.snr)
+		want := append([]byte(nil), in...)
+		check := func(b []byte) bool { return bits.HammingDistance(b, want) == 0 }
+		dec, err := NewDecoder(sp.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec.PrecheckRaw = false
+		res := dec.Decode(s[0], s[1], s[2], check)
+		res.Bits = append([]byte(nil), res.Bits...)
+		blocks[i] = &batchBlock{k: sp.k, s: s, check: check, want: res}
+	}
+	return blocks
+}
+
+// TestBatchMatchesSingle is the bit-identity contract named in the Batch
+// docs: mixed block sizes and SNRs (clean early-terminators next to blocks
+// that run to the iteration cap) decoded under the shared lockstep schedule
+// must reproduce per-block Decode exactly — bits, iteration counts and OK
+// verdicts.
+func TestBatchMatchesSingle(t *testing.T) {
+	blocks := makeBatchBlocks(t, []struct {
+		k   int
+		snr float64
+	}{
+		{512, 8},   // terminates after one iteration
+		{1056, -2}, // a few iterations
+		{5312, -6}, // runs to the cap, CRC never passes
+		{5312, 0},  // bench-shaped block
+		{40, 8},    // minimum K
+	})
+	b := NewBatch(len(blocks))
+	for _, blk := range blocks {
+		dec, err := NewDecoder(blk.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec.PrecheckRaw = false
+		b.Add(dec, blk.s[0], blk.s[1], blk.s[2], blk.check)
+	}
+	b.Run()
+	for i, blk := range blocks {
+		got := b.Result(i)
+		if d := bits.HammingDistance(got.Bits, blk.want.Bits); d != 0 {
+			t.Errorf("block %d (K=%d): batched decode differs from single in %d bits", i, blk.k, d)
+		}
+		if got.Iterations != blk.want.Iterations || got.OK != blk.want.OK {
+			t.Errorf("block %d (K=%d): batched (it=%d ok=%v) vs single (it=%d ok=%v)",
+				i, blk.k, got.Iterations, got.OK, blk.want.Iterations, blk.want.OK)
+		}
+	}
+}
+
+// TestBatchFloatPathFallback: a float64-path decoder inside a batch takes
+// the plain Decode fallback and still yields the per-block result.
+func TestBatchFloatPathFallback(t *testing.T) {
+	blocks := makeBatchBlocks(t, []struct {
+		k   int
+		snr float64
+	}{{512, 8}, {512, 0}})
+	b := NewBatch(2)
+	for _, blk := range blocks {
+		dec, err := NewDecoder(blk.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec.Path = PathFloat64
+		dec.PrecheckRaw = false
+		b.Add(dec, blk.s[0], blk.s[1], blk.s[2], blk.check)
+	}
+	b.Run()
+	for i, blk := range blocks {
+		got := b.Result(i)
+		// The float oracle may disagree with the quantized single-decode
+		// oracle in principle; at these SNRs both recover the block.
+		if !got.OK || !blk.want.OK {
+			t.Errorf("block %d: float fallback OK=%v, single OK=%v", i, got.OK, blk.want.OK)
+		}
+	}
+}
+
+// TestBatchPrecheckShortCircuit pins the per-block raw-systematic precheck
+// inside a batch: a noiseless block whose raw hard decisions already pass
+// the CRC must report Iterations == 0 — meaning it left the schedule before
+// any constituent pass — even when every batch-mate is noise-dominated and
+// runs to the iteration cap.
+func TestBatchPrecheckShortCircuit(t *testing.T) {
+	r := stats.NewRNG(91)
+	const k = 1056
+
+	// Clean block: noiseless BPSK, so raw signs are exact.
+	in := randomBlock(r, k)
+	streams, _ := EncodeStreams(in)
+	clean := make([][]float64, 3)
+	for j := range streams {
+		clean[j] = make([]float64, len(streams[j]))
+		for i, bit := range streams[j] {
+			clean[j][i] = 8 * (1 - 2*float64(bit))
+		}
+	}
+	wantClean := append([]byte(nil), in...)
+	cleanCheck := func(b []byte) bool { return bits.HammingDistance(b, wantClean) == 0 }
+
+	// Dirty mates: noise-dominated, their CRC never passes.
+	dirty := makeBatchBlocks(t, []struct {
+		k   int
+		snr float64
+	}{{5312, -8}, {5312, -8}})
+
+	b := NewBatch(3)
+	cleanDec, err := NewDecoder(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanDec.PrecheckRaw = true
+	ci := b.Add(cleanDec, clean[0], clean[1], clean[2], cleanCheck)
+	for _, blk := range dirty {
+		dec, err := NewDecoder(blk.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec.PrecheckRaw = false
+		b.Add(dec, blk.s[0], blk.s[1], blk.s[2], blk.check)
+	}
+	b.Run()
+
+	got := b.Result(ci)
+	if !got.OK || got.Iterations != 0 {
+		t.Fatalf("clean block: OK=%v Iterations=%d, want precheck hit (OK, 0 iterations)", got.OK, got.Iterations)
+	}
+	if d := bits.HammingDistance(got.Bits, wantClean); d != 0 {
+		t.Fatalf("clean block: precheck bits differ from payload in %d positions", d)
+	}
+	for i, blk := range dirty {
+		if got := b.Result(i + 1); got.OK || got.Iterations != blk.want.Iterations {
+			t.Errorf("dirty mate %d: OK=%v it=%d, want failed at the cap like single decode (it=%d)",
+				i, got.OK, got.Iterations, blk.want.Iterations)
+		}
+	}
+}
+
+// TestBatchRejectsSharedDecoder: the lockstep schedule keeps every block's
+// trellis scratch live simultaneously, so one Decoder cannot serve two
+// blocks of a batch.
+func TestBatchRejectsSharedDecoder(t *testing.T) {
+	blocks := makeBatchBlocks(t, []struct {
+		k   int
+		snr float64
+	}{{512, 8}, {512, 8}})
+	dec, err := NewDecoder(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatch(2)
+	b.Add(dec, blocks[0].s[0], blocks[0].s[1], blocks[0].s[2], nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("adding one decoder twice did not panic")
+		}
+	}()
+	b.Add(dec, blocks[1].s[0], blocks[1].s[1], blocks[1].s[2], nil)
+}
+
+// TestBatchRunAllocFree: the steady-state Reset/Add/Run cycle on a warmed
+// batch must not allocate — the receiver runs it per subframe.
+func TestBatchRunAllocFree(t *testing.T) {
+	blocks := makeBatchBlocks(t, []struct {
+		k   int
+		snr float64
+	}{{1056, 8}, {1056, 0}, {1056, -4}})
+	decs := make([]*Decoder, len(blocks))
+	for i, blk := range blocks {
+		dec, err := NewDecoder(blk.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec.PrecheckRaw = false
+		decs[i] = dec
+	}
+	cycle := func() {
+		b := NewBatch(len(blocks)) // hoisted below; this warms decoder scratch
+		for i, blk := range blocks {
+			b.Add(decs[i], blk.s[0], blk.s[1], blk.s[2], blk.check)
+		}
+		b.Run()
+	}
+	cycle()
+	b := NewBatch(len(blocks))
+	allocs := testing.AllocsPerRun(5, func() {
+		b.Reset()
+		for i, blk := range blocks {
+			b.Add(decs[i], blk.s[0], blk.s[1], blk.s[2], blk.check)
+		}
+		b.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("batched decode allocates %.1f objects per cycle, want 0", allocs)
+	}
+}

@@ -54,6 +54,24 @@ type Decoder struct {
 	// float64 soft streams; quantization happens inside Decode.
 	Path Path
 
+	// CheckCadence is the quantized path's early-termination schedule: the
+	// code-block CRC is evaluated after every CheckCadence-th constituent
+	// pass (half-iteration), and always after the final pass. 0 or 1 —
+	// the default — checks after every pass: on the int16 path a
+	// constituent pass costs ~100× a CRC sweep, so checking at every
+	// half-iteration is the measured optimum across the SNR sweep (a
+	// sparser cadence saves only the check itself but pays a whole extra
+	// pass whenever the skipped check would have terminated). The knob
+	// exists so that relationship can be re-measured as the kernels get
+	// faster; the float path keeps its fixed every-pass schedule.
+	CheckCadence int
+
+	// Radix selects the trellis stepping of the quantized constituent
+	// passes: fused two-stage SIMD sweeps (Radix4, the default) or the
+	// scalar single-stage reference (Radix2). Outputs are bit-identical;
+	// see radix4.go.
+	Radix Radix
+
 	// PrecheckRaw enables the iteration-0 check of the raw systematic hard
 	// decisions before any constituent pass (default on). It is always
 	// correct — it accepts only on a passing check — but is a wasted O(K)
@@ -85,6 +103,7 @@ type Decoder struct {
 	qg0        []int16 // per-step systematic+a-priori metric (lsys+la)
 	qg1        []int16 // per-step parity metric
 	qhardI     []byte  // decoder-2 hard decisions, interleaved domain
+	qhardTmp   []byte  // kernel scratch when decisions are not wanted
 }
 
 // NewDecoder builds a decoder for block size k.
@@ -120,6 +139,7 @@ func NewDecoder(k int) (*Decoder, error) {
 		qg0:           make([]int16, k),
 		qg1:           make([]int16, k),
 		qhardI:        make([]byte, k),
+		qhardTmp:      make([]byte, k),
 	}, nil
 }
 

@@ -36,6 +36,13 @@ import "rtopex/internal/modulation"
 //     real metrics, which saturate at qFloor = -32767 — and the prologue
 //     computes in int32 with qSentI32 = −2²⁸ so sentinels cannot creep back
 //     into contention through additions (|c| ≤ 24573 ≪ 2²⁸).
+//
+// constituentQ below is the radix-2 scalar reference for these
+// conventions. radix4.go dispatches the same recursions to fused two-stage
+// AVX2 kernels (quant_avx2_amd64.s, lane layout documented there) with
+// renormalization kept per stage, so both steppers clamp identically and
+// produce identical bits; batch.go interleaves several blocks' passes over
+// either stepper through the quantRun half-iteration machine below.
 const (
 	// qSent marks an unreachable state in stored int16 alpha rows. It is
 	// int16 minimum, one below the qFloor saturation rail, so a stored
@@ -58,58 +65,158 @@ func demuxTailsI16(s0, s1, s2 []int16, k int) (x1, z1, x2, z2 [3]int16) {
 	return
 }
 
-// decodeQuant is the int16 iteration pipeline. It mirrors decodeFloat
-// half-iteration for half-iteration; only the constituent arithmetic and the
-// buffer types differ.
-func (d *Decoder) decodeQuant(s0, s1, s2 []float64, check func([]byte) bool) Result {
+// quantRun is the per-block state of the int16 iteration pipeline,
+// factored into explicit half-iteration steps so a Batch (batch.go) can
+// interleave several blocks' passes under one schedule. decodeQuant drives
+// the same steps for a single block, so single and batched decodes execute
+// the identical per-block operation sequence — bit-identity between them
+// is structural, not coincidental.
+type quantRun struct {
+	d     *Decoder
+	check func([]byte) bool
+	// s2 is the decoder-2 parity stream in float form: its K-element body
+	// is quantized lazily on the first decoder-2 pass (see half2), because
+	// at operating SNR most blocks terminate after the first decoder-1
+	// pass and never need it. The 4 tail elements are quantized eagerly in
+	// begin — the termination tails straddle all three streams.
+	s2              []float64
+	sys, par1, par2 []int16
+	x1, z1, x2, z2  [3]int16
+	hard1           []byte
+	it              int // current full iteration, 1-based
+	d2Ready         bool
+	done            bool
+	res             Result
+}
+
+// begin quantizes the decoder-1-side inputs and arms the run. Decoder-2
+// input preparation (quantizing the second parity body, interleaving the
+// systematic) is deferred to the first half2 call.
+func (r *quantRun) begin(d *Decoder, s0, s1, s2 []float64, check func([]byte) bool) {
 	k := d.K
 	modulation.QuantizeLLRsInto(d.q0, s0)
 	modulation.QuantizeLLRsInto(d.q1, s1)
-	modulation.QuantizeLLRsInto(d.q2, s2)
-	sys := d.q0[:k]
-	par1 := d.q1[:k]
-	par2 := d.q2[:k]
-	x1, z1, x2, z2 := demuxTailsI16(d.q0, d.q1, d.q2, k)
-	d.il.PermuteI16(sys, d.qsysI)
-	clear(d.qla)
-
+	for j := k; j < k+4; j++ {
+		d.q2[j] = modulation.QuantizeLLR(s2[j])
+	}
+	r.d = d
+	r.check = check
+	r.s2 = s2
+	r.sys = d.q0[:k]
+	r.par1 = d.q1[:k]
+	r.par2 = d.q2[:k]
+	r.x1, r.z1, r.x2, r.z2 = demuxTailsI16(d.q0, d.q1, d.q2, k)
 	// Hard decisions fall out of the constituent passes for free: the
 	// backward loop already computes the unclamped a-posteriori m0−m1 per
 	// bit, so each pass writes sign bits as it goes (decoder 2's in the
 	// interleaved domain, deinterleaved before the CRC). When check is nil
 	// only the final pass needs decisions.
-	var hard1, hard2 []byte
+	r.hard1 = nil
 	if check != nil {
-		hard1, hard2 = d.hard, d.qhardI
+		r.hard1 = d.hard
 	}
-	res := Result{Bits: d.hard}
-	for it := 1; it <= d.MaxIterations; it++ {
-		res.Iterations = it
-		if check == nil && it == d.MaxIterations {
-			hard2 = d.qhardI
-		}
-		d.constituentQ(sys, par1, d.qla, x1, z1, d.qle1, hard1)
-		if check != nil && check(d.hard) {
-			res.OK = true
-			return res
-		}
-		d.il.PermuteI16(d.qle1, d.qla2)
-		d.constituentQ(d.qsysI, par2, d.qla2, x2, z2, d.qle, hard2)
-		d.il.InverseI16(d.qle, d.qla)
+	r.it = 0
+	r.d2Ready = false
+	r.done = false
+	r.res = Result{Bits: d.hard}
+}
 
-		if check != nil {
-			d.il.Inverse(d.qhardI, d.hard)
-			if check(d.hard) {
-				res.OK = true
-				return res
-			}
+// shouldCheck applies the CRC-check cadence: pass is the 1-based
+// constituent-pass index (2 per full iteration); the final decoder-2 pass
+// is always checked so a cadence can never suppress the only verdict.
+func (r *quantRun) shouldCheck(pass int, final bool) bool {
+	if r.check == nil {
+		return false
+	}
+	if final {
+		return true
+	}
+	c := r.d.CheckCadence
+	if c <= 1 {
+		return true
+	}
+	return pass%c == 0
+}
+
+// half1 runs one decoder-1 pass and its cadenced CRC check. Reports (and
+// records) whether the run is finished.
+func (r *quantRun) half1() bool {
+	d := r.d
+	r.it++
+	r.res.Iterations = r.it
+	la := d.qla
+	if r.it == 1 {
+		// The a-priori is identically zero before the first pass; nil la
+		// lets the constituent pass skip the add entirely (and the
+		// pipeline never has to clear d.qla — every later iteration
+		// rewrites it in full via InverseI16).
+		la = nil
+	}
+	d.constituentPass(r.sys, r.par1, la, r.x1, r.z1, d.qle1, r.hard1)
+	if r.shouldCheck(2*r.it-1, false) && r.check(d.hard) {
+		r.res.OK = true
+		r.done = true
+	}
+	return r.done
+}
+
+// half2 runs one decoder-2 pass (preparing its inputs on first use), the
+// extrinsic deinterleave, and the cadenced CRC check. Reports (and
+// records) whether the run is finished.
+func (r *quantRun) half2() bool {
+	d := r.d
+	k := d.K
+	if !r.d2Ready {
+		modulation.QuantizeLLRsInto(r.par2, r.s2[:k])
+		d.il.PermuteI16(r.sys, d.qsysI)
+		r.d2Ready = true
+	}
+	hard2 := []byte(nil)
+	if r.check != nil || r.it == d.MaxIterations {
+		hard2 = d.qhardI
+	}
+	d.il.PermuteI16(d.qle1, d.qla2)
+	d.constituentPass(d.qsysI, r.par2, d.qla2, r.x2, r.z2, d.qle, hard2)
+	d.il.InverseI16(d.qle, d.qla)
+	if r.shouldCheck(2*r.it, r.it == d.MaxIterations) {
+		d.il.Inverse(d.qhardI, d.hard)
+		if r.check(d.hard) {
+			r.res.OK = true
+			r.done = true
+			return true
 		}
 	}
-	if check == nil {
-		d.il.Inverse(d.qhardI, d.hard)
-		res.OK = true
+	if r.it == d.MaxIterations {
+		r.done = true
+		if r.check == nil {
+			d.il.Inverse(d.qhardI, d.hard)
+			r.res.OK = true
+		}
 	}
-	return res
+	return r.done
+}
+
+// decodeQuant is the int16 iteration pipeline. It mirrors decodeFloat
+// half-iteration for half-iteration; only the constituent arithmetic, the
+// buffer types, and the (configurable) check cadence differ.
+func (d *Decoder) decodeQuant(s0, s1, s2 []float64, check func([]byte) bool) Result {
+	if d.MaxIterations < 1 {
+		if check == nil {
+			d.il.Inverse(d.qhardI, d.hard)
+			return Result{Bits: d.hard, OK: true}
+		}
+		return Result{Bits: d.hard}
+	}
+	var r quantRun
+	r.begin(d, s0, s1, s2, check)
+	for {
+		if r.half1() {
+			return r.res
+		}
+		if r.half2() {
+			return r.res
+		}
+	}
 }
 
 // constituentQ is one fixed-point max-log-MAP pass: the int16 counterpart of
@@ -128,11 +235,17 @@ func (d *Decoder) constituentQ(lsys, lpar, la []int16, xTail, zTail [3]int16, le
 	alpha := d.qalpha
 
 	// Per-step metric halves: qg0 = lsys+la (systematic+a-priori), qg1 =
-	// parity. Both int16-exact under the rail invariant.
+	// parity. Both int16-exact under the rail invariant. A nil la means
+	// "identically zero" (the first decoder-1 pass), making qg0 a plain
+	// copy of the systematic stream.
 	qg0, qg1 := d.qg0, d.qg1
-	for i := 0; i < k; i++ {
-		qg0[i] = lsys[i] + la[i]
-		qg1[i] = lpar[i]
+	copy(qg1[:k], lpar[:k])
+	if la == nil {
+		copy(qg0[:k], lsys[:k])
+	} else {
+		for i := 0; i < k; i++ {
+			qg0[i] = lsys[i] + la[i]
+		}
 	}
 
 	// Forward prologue: steps 0..2 still have unreachable states, handled

@@ -15,6 +15,13 @@
 #   3. On multicore machines the cross-subframe pipelined window at depth 2
 #      must push more subframes/s than depth 1 (BenchmarkPHYPipelined).
 #      Single-CPU machines skip this: the depths tie by construction.
+#   4. The radix-4 fused trellis stepper must not lose to the radix-2
+#      scalar reference (BenchmarkPHYDecodeRadix4 vs Radix2), and batched
+#      code-block decode must not lose to single-block
+#      (BenchmarkPHYDecodeBatched vs Radix4). Both hold on any machine: on
+#      AVX2 hardware radix-4 wins outright, elsewhere the rows run the
+#      same scalar code and tie — so the gate allows a 10% noise band
+#      rather than demanding a strict win it cannot show there.
 set -eu
 
 GO=${GO:-go}
@@ -58,7 +65,7 @@ fi
 echo "phy-speedup: PASS — $label speedup ${ratio}x (> 1.5x)" >&2
 
 # 2. Quantized decode beats the float64 reference (any machine).
-$GO test -bench='BenchmarkPHYDecode(Quant|Float)$' -benchtime=10x -run='^$' . >"$out"
+$GO test -bench='BenchmarkPHYDecode(Quant|Float|Radix4|Radix2|Batched)$' -benchtime=10x -run='^$' . >"$out"
 
 stage_us() { # $1 = benchmark name suffix; prints that row's us/stage
 	awk -v pat="^BenchmarkPHYDecode$1(-[0-9]+)?$" '$1 ~ pat {
@@ -77,6 +84,30 @@ if [ "$qpass" -ne 1 ]; then
 	exit 1
 fi
 echo "phy-speedup: PASS — quantized decode ${qratio}x faster than float64 (${tq} vs ${tf} µs)" >&2
+
+# 4. Radix-4 fused stepping must not lose to the radix-2 scalar reference,
+# and batched decode must not lose to single-block (10% noise band: on
+# machines without the AVX2 kernels each pair runs identical code).
+t4=$(stage_us Radix4)
+t2=$(stage_us Radix2)
+tb=$(stage_us Batched)
+[ -n "$t4" ] && [ -n "$t2" ] && [ -n "$tb" ] || { echo "phy-speedup: FAIL — missing radix/batch decode samples" >&2; cat "$out" >&2; exit 1; }
+rratio=$(awk -v a="$t2" -v b="$t4" 'BEGIN { printf "%.2f", a / b }')
+rpass=$(awk -v a="$t4" -v b="$t2" 'BEGIN { print (a <= 1.10 * b) ? 1 : 0 }')
+if [ "$rpass" -ne 1 ]; then
+	echo "phy-speedup: FAIL — radix-4 decode (${t4} µs) slower than radix-2 (${t2} µs) beyond the 10% band" >&2
+	cat "$out" >&2
+	exit 1
+fi
+echo "phy-speedup: PASS — radix-4 decode ${rratio}x radix-2 (${t4} vs ${t2} µs)" >&2
+bratio=$(awk -v a="$t4" -v b="$tb" 'BEGIN { printf "%.2f", a / b }')
+bpass=$(awk -v a="$tb" -v b="$t4" 'BEGIN { print (a <= 1.10 * b) ? 1 : 0 }')
+if [ "$bpass" -ne 1 ]; then
+	echo "phy-speedup: FAIL — batched decode (${tb} µs) slower than single-block (${t4} µs) beyond the 10% band" >&2
+	cat "$out" >&2
+	exit 1
+fi
+echo "phy-speedup: PASS — batched decode ${bratio}x single-block (${tb} vs ${t4} µs)" >&2
 
 # 3. Cross-subframe pipelining pays at depth 2 (multicore only).
 if [ "$ncpu" -lt 2 ]; then
